@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build vet test race bench figures quick-figures demo clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/memcafw/ ./internal/victimd/
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate every paper table/figure plus ablations, the defense matrix,
+# and the jitter-evasion study into out/.
+figures:
+	$(GO) run ./cmd/memca-bench -out out
+
+quick-figures:
+	$(GO) run ./cmd/memca-bench -out out -quick
+
+# Live end-to-end demo on real sockets.
+demo:
+	$(GO) run ./cmd/memca-demo
+
+clean:
+	rm -rf out

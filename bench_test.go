@@ -1,0 +1,340 @@
+// Package memca_test holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (one Benchmark per artifact)
+// plus micro-benchmarks of the simulation kernels. Benchmarks run the
+// experiments in quick mode with file output disabled and report the
+// headline metrics via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as a one-shot reproduction check.
+package memca_test
+
+import (
+	"testing"
+	"time"
+
+	"memca"
+	"memca/internal/figures"
+	"memca/internal/monitor"
+	"memca/internal/queueing"
+	"memca/internal/sim"
+	"memca/internal/stats"
+)
+
+func benchOpts() figures.Options {
+	return figures.Options{Quick: true, Seed: 1}
+}
+
+// BenchmarkFig2TailAmplification regenerates Figure 2: per-tier percentile
+// response times under MemCA in both cloud environments. Reported metrics:
+// client p95/p98 in milliseconds per environment.
+func BenchmarkFig2TailAmplification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.ClientP95["ec2"].Milliseconds()), "ec2-p95-ms")
+		b.ReportMetric(float64(res.ClientP98["ec2"].Milliseconds()), "ec2-p98-ms")
+		b.ReportMetric(float64(res.ClientP95["private-cloud"].Milliseconds()), "private-p95-ms")
+		if !res.AmplificationOK {
+			b.Fatal("tail amplification ordering violated")
+		}
+	}
+}
+
+// BenchmarkFig3BandwidthDegradation regenerates Figure 3: per-VM memory
+// bandwidth vs. co-located VM count, placement, and attack type.
+func BenchmarkFig3BandwidthDegradation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sat := res.Curves["same-package/bus-saturation"]
+		lock := res.Curves["same-package/memory-lock"]
+		b.ReportMetric(sat[0], "1vm-MBps")
+		b.ReportMetric(sat[5], "6vm-sat-MBps")
+		b.ReportMetric(lock[0], "1vm-lock-MBps")
+		if res.SingleVMSaturates || !res.LockBelowSaturation {
+			b.Fatal("Figure 3 findings violated")
+		}
+	}
+}
+
+// BenchmarkFig6QueueOverflow regenerates Figure 6: cross-tier queue
+// overflow (RPC model) vs. bottleneck-only queueing (tandem model).
+func BenchmarkFig6QueueOverflow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TandemMySQLMax, "tandem-mysql-peak")
+		b.ReportMetric(res.RPCFillOrder[0].Seconds()*1000, "rpc-front-fill-ms")
+		if !res.RPCFilled {
+			b.Fatal("RPC overflow did not reach the front tier")
+		}
+	}
+}
+
+// BenchmarkFig7TailAmplification regenerates Figure 7: percentile curves
+// for the tandem, infinite-front, and finite model variants.
+func BenchmarkFig7TailAmplification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Cases[figures.Fig7Tandem].ClientP99.Milliseconds()), "tandem-p99-ms")
+		b.ReportMetric(float64(res.Cases[figures.Fig7InfiniteFront].ClientP99.Milliseconds()), "inf-front-p99-ms")
+		b.ReportMetric(float64(res.Cases[figures.Fig7Finite].ClientP99.Milliseconds()), "finite-p99-ms")
+	}
+}
+
+// BenchmarkFig8Controller regenerates the control-framework experiment:
+// the commander converges on the damage goal from a weak start.
+func BenchmarkFig8Controller(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		opts.Quick = false // convergence needs the full runway
+		res, err := figures.Fig8(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TimeToGoal.Seconds(), "time-to-goal-s")
+		b.ReportMetric(res.SustainedFraction, "sustained-frac")
+		if !res.GoalReached {
+			b.Fatal("controller missed the goal")
+		}
+	}
+}
+
+// BenchmarkFig9Snapshot regenerates Figure 9: the 8-second fine-grained
+// view of bursts, CPU saturation, queue propagation, and client damage.
+func BenchmarkFig9Snapshot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig9(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.BurstsInWindow), "bursts-in-window")
+		b.ReportMetric(float64(res.MaxClientRT.Milliseconds()), "max-client-rt-ms")
+		if !res.MySQLSaturated || !res.QueuePropagated {
+			b.Fatal("snapshot invariants violated")
+		}
+	}
+}
+
+// BenchmarkFig10Stealthiness regenerates Figure 10: the CPU signal at
+// three monitoring granularities and the Auto Scaling verdict.
+func BenchmarkFig10Stealthiness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig10(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MaxByGranularity[monitor.GranularityCloud], "max-util-1min")
+		b.ReportMetric(res.MaxByGranularity[monitor.GranularityFine], "max-util-50ms")
+		if res.AutoScalingTriggered || res.ScaleEventsLive != 0 {
+			b.Fatal("MemCA triggered auto scaling")
+		}
+	}
+}
+
+// BenchmarkFig11LLCMisses regenerates Figure 11: LLC-miss periodicity
+// under bus saturation vs. memory locking.
+func BenchmarkFig11LLCMisses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig11(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SaturationPeriodicity, "sat-periodicity")
+		b.ReportMetric(res.LockPeriodicity, "lock-periodicity")
+		if res.SaturationPeriodicity <= res.LockPeriodicity {
+			b.Fatal("attack signatures not separable")
+		}
+	}
+}
+
+// BenchmarkTable1AnalyticalModel evaluates the analytical model
+// (Equations 2-10) plus the inverse planner.
+func BenchmarkTable1AnalyticalModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Table1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Prediction.Impact, "rho")
+		b.ReportMetric(res.Prediction.Millibottleneck.Seconds()*1000, "millibottleneck-ms")
+		if !res.PlannedOK {
+			b.Fatal("inverse planning failed")
+		}
+	}
+}
+
+// BenchmarkAblationMechanisms quantifies each amplification mechanism's
+// contribution to the client tail (slot-holding, finite queues, TCP
+// retransmission).
+func BenchmarkAblationMechanisms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.AblationMechanisms(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			b.ReportMetric(float64(p.ClientP99.Milliseconds()), p.Label+"-p99-ms")
+		}
+	}
+}
+
+// BenchmarkAblationBurstLength sweeps L: the Equation (7)/(10) trade-off.
+func BenchmarkAblationBurstLength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.AblationBurstLength(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := res.Points[0], res.Points[len(res.Points)-1]
+		b.ReportMetric(float64(first.ClientP95.Milliseconds()), "L100ms-p95-ms")
+		b.ReportMetric(float64(last.ClientP95.Milliseconds()), "L800ms-p95-ms")
+	}
+}
+
+// BenchmarkDefenseEvaluation runs the countermeasure matrix: isolation
+// primitives crossed with attack kinds, plus millibottleneck detection.
+func BenchmarkDefenseEvaluation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.DefenseEvaluation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.DetectorEpisodes), "episodes-50ms")
+		b.ReportMetric(float64(res.CoarseDetectorEpisodes), "episodes-1s")
+	}
+}
+
+// BenchmarkJitterEvasion sweeps burst-interval jitter: damage persists
+// while the Figure 11 periodicity signature collapses.
+func BenchmarkJitterEvasion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.JitterEvasion(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := res.Points[0], res.Points[len(res.Points)-1]
+		b.ReportMetric(first.Periodicity, "periodicity-j0")
+		b.ReportMetric(last.Periodicity, "periodicity-j75")
+	}
+}
+
+// --- micro-benchmarks of the simulation kernels ---
+
+// BenchmarkEngineEvents measures raw event throughput of the simulator.
+func BenchmarkEngineEvents(b *testing.B) {
+	e := sim.NewEngine(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.Schedule(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	e.Schedule(0, tick)
+	if err := e.RunAll(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkQueueingThroughput measures simulated requests per wall second
+// through the full 3-tier RPC network.
+func BenchmarkQueueingThroughput(b *testing.B) {
+	e := sim.NewEngine(1)
+	n, err := queueing.New(e, queueing.Config{
+		Mode: queueing.ModeNTierRPC,
+		Tiers: []queueing.TierConfig{
+			{Name: "a", QueueLimit: 100, Servers: 2, Service: sim.NewExponential(600 * time.Microsecond)},
+			{Name: "b", QueueLimit: 60, Servers: 2, Service: sim.NewExponential(1200 * time.Microsecond)},
+			{Name: "c", QueueLimit: 25, Servers: 2, Service: sim.NewExponential(1600 * time.Microsecond)},
+		},
+		Classes: []queueing.Class{{Name: "full", Depth: 2}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := 0
+	var submit func()
+	submit = func() {
+		_, err := n.Submit(queueing.SubmitOpts{Class: 0, OnComplete: func(*queueing.Request) {
+			done++
+			if done < b.N {
+				submit()
+			}
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	submit()
+	if err := e.RunAll(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkExperimentMinute measures wall time per simulated minute of the
+// full default experiment (3500 clients under attack).
+func BenchmarkExperimentMinute(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := memca.DefaultConfig()
+		cfg.Duration = time.Minute
+		cfg.Warmup = 10 * time.Second
+		x, err := memca.NewExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := x.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.Client.P95.Milliseconds()), "p95-ms")
+	}
+}
+
+// BenchmarkPercentileSample measures the exact-quantile kernel.
+func BenchmarkPercentileSample(b *testing.B) {
+	s := stats.NewSample(100000)
+	for i := 0; i < 100000; i++ {
+		s.Add(time.Duration(i*7919%100000) * time.Microsecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(time.Duration(i) * time.Microsecond) // invalidate the cache
+		_ = s.Percentile(95)
+	}
+}
+
+// BenchmarkP2Quantile measures the streaming quantile estimator.
+func BenchmarkP2Quantile(b *testing.B) {
+	p2, err := stats.NewP2Quantile(0.95)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p2.Add(float64(i % 1000))
+	}
+}
+
+// BenchmarkBandwidthAllocation measures the host bandwidth allocator.
+func BenchmarkBandwidthAllocation(b *testing.B) {
+	cfg := memca.XeonE5_2603v3()
+	for i := 0; i < b.N; i++ {
+		if _, err := memca.ProfileBandwidth(cfg, 6, memca.PlacementSamePackage, memca.AttackMemoryLock, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Command membench profiles the modelled host's shared memory bandwidth
+// the way Section III does with RAMspeed: it sweeps 1..N co-located VMs
+// over placements and attack types and prints the per-VM available
+// bandwidth (the curves of Figure 3).
+//
+// Usage:
+//
+//	membench                  # full sweep on the Xeon E5-2603 v3 host
+//	membench -host ec2        # on the EC2 dedicated-host model
+//	membench -vms 4           # sweep 1..4 VMs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memca"
+	"memca/internal/memmodel"
+	"memca/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "membench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		host = flag.String("host", "xeon", "host model: xeon (private cloud) or ec2")
+		vms  = flag.Int("vms", 6, "maximum co-located VMs to sweep")
+		duty = flag.Float64("lock-duty", 1.0, "lock attack duty cycle")
+	)
+	flag.Parse()
+
+	var cfg memca.HostConfig
+	switch *host {
+	case "xeon":
+		cfg = memca.XeonE5_2603v3()
+	case "ec2":
+		cfg = memca.EC2DedicatedHost()
+	default:
+		return fmt.Errorf("unknown -host %q (want xeon or ec2)", *host)
+	}
+
+	fmt.Printf("host: %d packages x %d cores, %.0f MB/s bus per package, %.0f MB/s single-core peak\n\n",
+		cfg.Packages, cfg.CoresPerPackage, cfg.BusBandwidthMBps, cfg.SingleCoreDemandMBps)
+
+	tbl := trace.Table{Header: []string{"vms", "placement", "attack", "per-VM MB/s", "aggregate MB/s"}}
+	for _, placement := range []memmodel.PlacementMode{memmodel.PlacementSamePackage, memmodel.PlacementRandomPackage} {
+		for _, kind := range []memmodel.AttackKind{memmodel.AttackBusSaturation, memmodel.AttackMemoryLock} {
+			points, err := memca.BandwidthSweep(cfg, *vms, placement, kind, *duty)
+			if err != nil {
+				return err
+			}
+			for _, p := range points {
+				tbl.Add(
+					fmt.Sprintf("%d", p.VMs),
+					placement.String(),
+					kind.String(),
+					fmt.Sprintf("%.0f", p.PerVMMBps),
+					fmt.Sprintf("%.0f", p.AggregateMBps),
+				)
+			}
+		}
+	}
+	fmt.Print(tbl.Render())
+	return nil
+}

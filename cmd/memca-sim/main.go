@@ -1,0 +1,128 @@
+// Command memca-sim runs one MemCA experiment — baseline or attack, with
+// optional feedback control and elastic scaling — and prints the report.
+//
+// Usage:
+//
+//	memca-sim [flags]
+//
+// Examples:
+//
+//	memca-sim                                  # paper defaults: 3-min EC2 run under memory lock
+//	memca-sim -baseline                        # clean run, no attack
+//	memca-sim -env private -attack saturation  # private cloud, bus-saturation attack
+//	memca-sim -feedback                        # Kalman-controlled attack
+//	memca-sim -scaling -duration 5m            # with a live auto-scaling group attached
+//	memca-sim -json report.json                # also write the machine-readable report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"memca"
+	"memca/internal/core"
+	"memca/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "memca-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		configPath = flag.String("config", "", "JSON experiment config (overrides other flags; see configs/)")
+		baseline   = flag.Bool("baseline", false, "run without the attack")
+		env        = flag.String("env", "ec2", "environment: ec2 or private")
+		kind       = flag.String("attack", "lock", "attack kind: lock or saturation")
+		duration   = flag.Duration("duration", 3*time.Minute, "measured phase length")
+		warmup     = flag.Duration("warmup", 20*time.Second, "warm-up phase length")
+		clients    = flag.Int("clients", 3500, "emulated user population")
+		burst      = flag.Duration("burst", 500*time.Millisecond, "attack burst length L")
+		interval   = flag.Duration("interval", 2*time.Second, "attack burst interval I")
+		intensity  = flag.Float64("intensity", 1.0, "attack intensity R in (0,1]")
+		feedback   = flag.Bool("feedback", false, "enable the Kalman-filtered commander")
+		scaling    = flag.Bool("scaling", false, "attach a live auto-scaling group to MySQL")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		jsonOut    = flag.String("json", "", "write the report as JSON to this path")
+	)
+	flag.Parse()
+
+	if *configPath != "" {
+		cfg, err := core.LoadConfig(*configPath)
+		if err != nil {
+			return err
+		}
+		return execute(cfg, *jsonOut)
+	}
+
+	cfg := memca.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Duration = *duration
+	cfg.Warmup = *warmup
+	cfg.Clients = *clients
+	switch *env {
+	case "ec2":
+		cfg.Env = memca.EnvEC2
+	case "private":
+		cfg.Env = memca.EnvPrivateCloud
+	default:
+		return fmt.Errorf("unknown -env %q (want ec2 or private)", *env)
+	}
+	if *baseline {
+		cfg.Attack = nil
+	} else {
+		switch *kind {
+		case "lock":
+			cfg.Attack.Kind = memca.AttackMemoryLock
+		case "saturation":
+			cfg.Attack.Kind = memca.AttackBusSaturation
+		default:
+			return fmt.Errorf("unknown -attack %q (want lock or saturation)", *kind)
+		}
+		cfg.Attack.Params = memca.AttackParams{
+			Intensity:   *intensity,
+			BurstLength: *burst,
+			Interval:    *interval,
+		}
+	}
+	if *feedback {
+		if *baseline {
+			return fmt.Errorf("-feedback requires an attack")
+		}
+		fb := memca.DefaultFeedback()
+		cfg.Feedback = &fb
+	}
+	if *scaling {
+		cfg.Scaling = &memca.ScalingSpec{Trigger: memca.DefaultAutoScaler(), MaxInstances: 4}
+	}
+
+	return execute(cfg, *jsonOut)
+}
+
+// execute runs one configured experiment and prints/writes the report.
+func execute(cfg memca.Config, jsonOut string) error {
+	x, err := memca.NewExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("running %v for %v (%d clients, warmup %v)...\n", cfg.Env, cfg.Duration, cfg.Clients, cfg.Warmup)
+	start := time.Now()
+	rep, err := x.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("done in %v (wall clock)\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Println(rep.Render())
+	if jsonOut != "" {
+		if err := trace.WriteJSON(jsonOut, rep); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", jsonOut)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package memca_test
+
+import (
+	"fmt"
+	"time"
+
+	"memca"
+)
+
+// ExamplePredictAttack evaluates the paper's Equations (2)-(10) for the
+// default RUBBoS model under a strong burst.
+func ExamplePredictAttack() {
+	m := memca.RUBBoSModel()
+	pred, err := memca.PredictAttack(m, memca.ModelAttack{
+		D: 0.1, L: 500 * time.Millisecond, I: 2 * time.Second,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("build-up: %v\n", pred.TotalFill.Round(time.Millisecond))
+	fmt.Printf("damage period: %v\n", pred.DamagePeriod.Round(time.Millisecond))
+	fmt.Printf("millibottleneck: %v\n", pred.Millibottleneck.Round(time.Millisecond))
+	fmt.Printf("impact rho: %.3f\n", pred.Impact)
+	// Output:
+	// build-up: 293ms
+	// damage period: 207ms
+	// millibottleneck: 544ms
+	// impact rho: 0.104
+}
+
+// ExamplePlanAttack inverts the model: the weakest attack meeting the
+// paper's damage goal under the stealth bound.
+func ExamplePlanAttack() {
+	m := memca.RUBBoSModel()
+	a, err := memca.PlanAttack(m, 0.05, time.Second, 2*time.Second)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("D=%.2f L=%v I=%v\n", a.D, a.L.Round(time.Millisecond), a.I)
+	// Output:
+	// D=0.31 L=884ms I=2s
+}
+
+// ExampleProfileBandwidth reproduces one point of the Section III
+// profiling: six co-located VMs on one package under a full-duty memory
+// lock.
+func ExampleProfileBandwidth() {
+	cfg := memca.XeonE5_2603v3()
+	point, err := memca.ProfileBandwidth(cfg, 6, memca.PlacementSamePackage, memca.AttackMemoryLock, 1.0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("per-VM bandwidth: %.0f MB/s\n", point.PerVMMBps)
+	// Output:
+	// per-VM bandwidth: 145 MB/s
+}
+
+// ExampleNewExperiment runs a miniature attacked experiment end to end.
+func ExampleNewExperiment() {
+	cfg := memca.DefaultConfig()
+	cfg.Duration = 30 * time.Second
+	cfg.Warmup = 5 * time.Second
+	cfg.Clients = 700
+	cfg.ThinkTime = 1400 * time.Millisecond
+
+	x, err := memca.NewExperiment(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rep, err := x.Run()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("attack: %s\n", rep.AttackKind)
+	fmt.Printf("goal met: %v\n", rep.GoalMet)
+	fmt.Printf("drops observed: %v\n", rep.Drops > 0)
+	// Output:
+	// attack: memory-lock
+	// goal met: true
+	// drops observed: true
+}

@@ -1,0 +1,3 @@
+module memca
+
+go 1.22

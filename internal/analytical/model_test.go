@@ -1,0 +1,352 @@
+package analytical
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestModelValidate(t *testing.T) {
+	if err := RUBBoS3Tier().Validate(); err != nil {
+		t.Fatalf("default model rejected: %v", err)
+	}
+	bad := []Model{
+		{},
+		{Tiers: []Tier{{Name: "a", Queue: 0, CapacityOFF: 1}}},
+		{Tiers: []Tier{{Name: "a", Queue: 1, CapacityOFF: 0}}},
+		{Tiers: []Tier{{Name: "a", Queue: 1, CapacityOFF: 1, ArrivalRate: -1}}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestAttackValidate(t *testing.T) {
+	good := Attack{D: 0.1, L: 100 * time.Millisecond, I: 2 * time.Second}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid attack rejected: %v", err)
+	}
+	bad := []Attack{
+		{D: -0.1, L: time.Second, I: 2 * time.Second},
+		{D: 1.1, L: time.Second, I: 2 * time.Second},
+		{D: 0.5, L: 0, I: 2 * time.Second},
+		{D: 0.5, L: time.Second, I: 0},
+		{D: 0.5, L: 3 * time.Second, I: 2 * time.Second},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("bad attack %d accepted", i)
+		}
+	}
+}
+
+func TestConditions(t *testing.T) {
+	m := RUBBoS3Tier()
+	if err := m.CheckCondition1(); err != nil {
+		t.Errorf("condition 1 should hold for default model: %v", err)
+	}
+	inverted := Model{Tiers: []Tier{
+		{Name: "a", Queue: 10, CapacityOFF: 100, ArrivalRate: 10},
+		{Name: "b", Queue: 20, CapacityOFF: 100, ArrivalRate: 10},
+	}}
+	if err := inverted.CheckCondition1(); err == nil {
+		t.Error("condition 1 violation not detected")
+	}
+
+	strong := Attack{D: 0.1, L: 100 * time.Millisecond, I: 2 * time.Second}
+	if err := m.CheckCondition2(strong); err != nil {
+		t.Errorf("condition 2 should hold for D=0.1: %v", err)
+	}
+	weak := Attack{D: 0.9, L: 100 * time.Millisecond, I: 2 * time.Second}
+	if err := m.CheckCondition2(weak); err == nil {
+		t.Error("condition 2 should fail for D=0.9 (C_ON=828 > λ_n=350)")
+	}
+}
+
+func TestSeenRate(t *testing.T) {
+	m := RUBBoS3Tier()
+	if got := m.SeenRate(0); got != 500 {
+		t.Errorf("front tier sees %v req/s, want 500", got)
+	}
+	if got := m.SeenRate(2); got != 350 {
+		t.Errorf("bottleneck sees %v req/s, want 350", got)
+	}
+}
+
+// TestPredictEquationsByHand checks Equations 4-10 against hand-computed
+// values for a small 3-tier model.
+func TestPredictEquationsByHand(t *testing.T) {
+	m := Model{Tiers: []Tier{
+		{Name: "t1", Queue: 100, CapacityOFF: 1000, ArrivalRate: 50}, // sees 350
+		{Name: "t2", Queue: 60, CapacityOFF: 500, ArrivalRate: 100},  // sees 300
+		{Name: "t3", Queue: 20, CapacityOFF: 300, ArrivalRate: 200},  // sees 200
+	}}
+	a := Attack{D: 0.1, L: 500 * time.Millisecond, I: 2 * time.Second}
+	p, err := m.Predict(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C_n,ON = 0.1 * 300 = 30.
+	if p.CnON != 30 {
+		t.Errorf("CnON = %v, want 30", p.CnON)
+	}
+	approx := func(got time.Duration, wantSecs float64) bool {
+		return math.Abs(got.Seconds()-wantSecs) < 1e-6
+	}
+	// Eq 4: l_3,UP = 20 / (200 - 30) s.
+	if !approx(p.FillTimes[2], 20.0/170) {
+		t.Errorf("l_3,UP = %v, want %vs", p.FillTimes[2], 20.0/170)
+	}
+	// Eq 5: l_2,UP = (60-20) / (300 - 30).
+	if !approx(p.FillTimes[1], 40.0/270) {
+		t.Errorf("l_2,UP = %v, want %vs", p.FillTimes[1], 40.0/270)
+	}
+	// Eq 6: l_1,UP = (100-60) / (350 - 30).
+	if !approx(p.FillTimes[0], 40.0/320) {
+		t.Errorf("l_1,UP = %v, want %vs", p.FillTimes[0], 40.0/320)
+	}
+	if !p.QueuesAllFill {
+		t.Error("cascade should reach the front tier")
+	}
+	totalFill := 20.0/170 + 40.0/270 + 40.0/320
+	if !approx(p.TotalFill, totalFill) {
+		t.Errorf("TotalFill = %v, want %vs", p.TotalFill, totalFill)
+	}
+	// Eq 7: P_D = 0.5 - totalFill.
+	if !approx(p.DamagePeriod, 0.5-totalFill) {
+		t.Errorf("DamagePeriod = %v, want %vs", p.DamagePeriod, 0.5-totalFill)
+	}
+	// Eq 8: rho = P_D / 2.
+	wantImpact := (0.5 - totalFill) / 2
+	if math.Abs(p.Impact-wantImpact) > 1e-6 {
+		t.Errorf("Impact = %v, want %v", p.Impact, wantImpact)
+	}
+	// Eq 9: l_3,DOWN = 20 / (300 - 200) = 0.2 s.
+	if !approx(p.DrainTime, 0.2) {
+		t.Errorf("DrainTime = %v, want 200ms", p.DrainTime)
+	}
+	// Eq 10: P_MB = 0.5 + 0.2 = 0.7 s.
+	if !approx(p.Millibottleneck, 0.7) {
+		t.Errorf("Millibottleneck = %v, want 700ms", p.Millibottleneck)
+	}
+}
+
+func TestPredictShortBurstNoDamage(t *testing.T) {
+	m := RUBBoS3Tier()
+	a := Attack{D: 0.1, L: 50 * time.Millisecond, I: 2 * time.Second}
+	p, err := m.Predict(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DamagePeriod != 0 {
+		t.Errorf("burst shorter than build-up produced damage period %v", p.DamagePeriod)
+	}
+	if p.Impact != 0 {
+		t.Errorf("Impact = %v, want 0", p.Impact)
+	}
+	// The millibottleneck still outlasts the burst (Eq 10).
+	if p.Millibottleneck <= a.L {
+		t.Errorf("Millibottleneck %v should exceed burst length %v", p.Millibottleneck, a.L)
+	}
+}
+
+func TestPredictWeakAttackCascadeStops(t *testing.T) {
+	m := RUBBoS3Tier()
+	// D=0.8 gives C_ON=320 > λ_n=300: bottleneck never fills.
+	a := Attack{D: 0.8, L: time.Second, I: 2 * time.Second}
+	p, err := m.Predict(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.QueuesAllFill {
+		t.Error("cascade should not complete for a too-weak attack")
+	}
+	for i, ft := range p.FillTimes {
+		if ft != -1 {
+			t.Errorf("tier %d fill time = %v, want -1 (never fills)", i, ft)
+		}
+	}
+	if p.DamagePeriod != 0 {
+		t.Errorf("DamagePeriod = %v, want 0", p.DamagePeriod)
+	}
+}
+
+func TestPredictCascadePartial(t *testing.T) {
+	// Bottleneck fills but tier 2's deficit is negative: cascade stops.
+	m := Model{Tiers: []Tier{
+		{Name: "t1", Queue: 100, CapacityOFF: 1000, ArrivalRate: 0},
+		{Name: "t2", Queue: 50, CapacityOFF: 500, ArrivalRate: 0},
+		{Name: "t3", Queue: 20, CapacityOFF: 100, ArrivalRate: 60},
+	}}
+	// C_ON = 70: bottleneck deficit = 60-70 < 0? No: we need the
+	// bottleneck to fill, so pick D such that C_ON < 60 but the tier-2
+	// deficit (also 60 - C_ON here) stays positive... with equal seen
+	// rates the cascade continues. Instead give tier 2 enough capacity
+	// headroom is irrelevant; deficit uses the bottleneck C_ON. So a
+	// partial cascade requires upstream seen-rate < C_ON, impossible
+	// when deeper tiers' rates are included. Verify that invariant: if
+	// the bottleneck fills, every upstream tier fills too.
+	a := Attack{D: 0.5, L: 5 * time.Second, I: 10 * time.Second}
+	p, err := m.Predict(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.QueuesAllFill {
+		t.Error("upstream seen rate >= bottleneck rate, cascade must complete")
+	}
+}
+
+func TestPredictImpactMonotoneInL(t *testing.T) {
+	m := RUBBoS3Tier()
+	f := func(l1Raw, l2Raw uint16) bool {
+		l1 := time.Duration(l1Raw%1900+50) * time.Millisecond
+		l2 := time.Duration(l2Raw%1900+50) * time.Millisecond
+		if l1 > l2 {
+			l1, l2 = l2, l1
+		}
+		p1, err1 := m.Predict(Attack{D: 0.1, L: l1, I: 2 * time.Second})
+		p2, err2 := m.Predict(Attack{D: 0.1, L: l2, I: 2 * time.Second})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return p1.Impact <= p2.Impact+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictStrongerAttackFillsFaster(t *testing.T) {
+	m := RUBBoS3Tier()
+	weak, err := m.Predict(Attack{D: 0.3, L: time.Second, I: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := m.Predict(Attack{D: 0.05, L: time.Second, I: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strong.TotalFill >= weak.TotalFill {
+		t.Errorf("stronger attack fill time %v not below weaker %v", strong.TotalFill, weak.TotalFill)
+	}
+	if strong.DamagePeriod <= weak.DamagePeriod {
+		t.Errorf("stronger attack damage %v not above weaker %v", strong.DamagePeriod, weak.DamagePeriod)
+	}
+}
+
+func TestPredictSaturatedBottleneckNeverDrains(t *testing.T) {
+	m := Model{Tiers: []Tier{
+		{Name: "front", Queue: 50, CapacityOFF: 500, ArrivalRate: 0},
+		{Name: "db", Queue: 10, CapacityOFF: 100, ArrivalRate: 150}, // overloaded even OFF
+	}}
+	p, err := m.Predict(Attack{D: 0.1, L: 100 * time.Millisecond, I: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DrainTime != 1<<63-1 {
+		t.Errorf("overloaded bottleneck should never drain, got %v", p.DrainTime)
+	}
+}
+
+func TestPlanAttackMeetsGoal(t *testing.T) {
+	m := RUBBoS3Tier()
+	goal := Goal{MinImpact: 0.05, MaxMillibottleneck: time.Second}
+	a, err := PlanAttack(m, goal, 2*time.Second)
+	if err != nil {
+		t.Fatalf("PlanAttack: %v", err)
+	}
+	p, err := m.Predict(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Impact < goal.MinImpact {
+		t.Errorf("planned impact %v below goal %v", p.Impact, goal.MinImpact)
+	}
+	if p.Millibottleneck > goal.MaxMillibottleneck {
+		t.Errorf("planned millibottleneck %v exceeds stealth bound %v", p.Millibottleneck, goal.MaxMillibottleneck)
+	}
+	if a.L > a.I {
+		t.Errorf("planned burst %v exceeds interval %v", a.L, a.I)
+	}
+}
+
+func TestPlanAttackPrefersWeakest(t *testing.T) {
+	m := RUBBoS3Tier()
+	goal := Goal{MinImpact: 0.01, MaxMillibottleneck: 2 * time.Second}
+	interval := 2 * time.Second
+	a, err := PlanAttack(m, goal, interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every stronger-than-necessary candidate is skipped: the next grid
+	// step up in D (a weaker attack) must be infeasible.
+	feasible := func(d float64) bool {
+		cand := Attack{D: d, L: interval, I: interval}
+		if m.CheckCondition2(cand) != nil {
+			return false
+		}
+		pred, err := m.Predict(cand)
+		if err != nil || !pred.QueuesAllFill || pred.TotalFill > interval {
+			return false
+		}
+		cand.L = pred.TotalFill + time.Duration(goal.MinImpact*float64(interval))
+		if cand.L > interval {
+			return false
+		}
+		pred, err = m.Predict(cand)
+		if err != nil {
+			return false
+		}
+		return pred.Impact >= goal.MinImpact && pred.Millibottleneck <= goal.MaxMillibottleneck
+	}
+	if !feasible(a.D) {
+		t.Fatalf("planned D = %v is itself infeasible", a.D)
+	}
+	if feasible(a.D + 0.01) {
+		t.Errorf("a weaker attack (D = %v) was feasible but not chosen", a.D+0.01)
+	}
+}
+
+func TestPlanAttackInfeasible(t *testing.T) {
+	m := RUBBoS3Tier()
+	// Demanding 90% impact with a sub-second millibottleneck cannot work
+	// with a 2 s interval (P_D would need 1.8 s, so L > 1.8 s > P_MB cap).
+	_, err := PlanAttack(m, Goal{MinImpact: 0.9, MaxMillibottleneck: time.Second}, 2*time.Second)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("got %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPlanAttackRejectsBadInputs(t *testing.T) {
+	m := RUBBoS3Tier()
+	if _, err := PlanAttack(m, Goal{MinImpact: 0.05}, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := PlanAttack(m, Goal{MinImpact: 1.5}, time.Second); err == nil {
+		t.Error("impact >= 1 accepted")
+	}
+	if _, err := PlanAttack(Model{}, Goal{MinImpact: 0.05}, time.Second); err == nil {
+		t.Error("empty model accepted")
+	}
+	inverted := Model{Tiers: []Tier{
+		{Name: "a", Queue: 10, CapacityOFF: 100, ArrivalRate: 10},
+		{Name: "b", Queue: 20, CapacityOFF: 100, ArrivalRate: 10},
+	}}
+	if _, err := PlanAttack(inverted, Goal{MinImpact: 0.05}, time.Second); err == nil {
+		t.Error("condition-1-violating model accepted")
+	}
+}
+
+func TestPredictRejectsInvalid(t *testing.T) {
+	m := RUBBoS3Tier()
+	if _, err := m.Predict(Attack{D: 2, L: time.Second, I: time.Second}); err == nil {
+		t.Error("invalid attack accepted")
+	}
+	if _, err := (Model{}).Predict(Attack{D: 0.1, L: time.Second, I: time.Second}); err == nil {
+		t.Error("invalid model accepted")
+	}
+}

@@ -1,0 +1,185 @@
+package attack
+
+import (
+	"fmt"
+
+	"memca/internal/memmodel"
+	"memca/internal/queueing"
+)
+
+// DirectInjector degrades the victim tier's capacity to a fixed
+// degradation index D during bursts, with no memory model in between. It
+// reproduces the paper's JMT-style model simulations, where D is a given.
+type DirectInjector struct {
+	net  *queueing.Network
+	tier int
+	// D is the degradation index applied during ON bursts (C_ON = D *
+	// C_OFF). The burster's intensity is ignored; D is authoritative.
+	D float64
+}
+
+// NewDirectInjector validates and builds a direct injector.
+func NewDirectInjector(net *queueing.Network, tier int, d float64) (*DirectInjector, error) {
+	if net == nil {
+		return nil, fmt.Errorf("attack: network must not be nil")
+	}
+	if tier < 0 || tier >= net.NumTiers() {
+		return nil, fmt.Errorf("attack: tier %d out of range [0,%d)", tier, net.NumTiers())
+	}
+	if d < 0 || d > 1 {
+		return nil, fmt.Errorf("attack: degradation index must be in [0,1], got %v", d)
+	}
+	return &DirectInjector{net: net, tier: tier, D: d}, nil
+}
+
+// BurstStart implements Injector.
+func (di *DirectInjector) BurstStart(float64) {
+	// Tier index was validated at construction.
+	if err := di.net.SetCapacityMultiplier(di.tier, di.D); err != nil {
+		panic(err)
+	}
+}
+
+// BurstEnd implements Injector.
+func (di *DirectInjector) BurstEnd() {
+	if err := di.net.SetCapacityMultiplier(di.tier, 1); err != nil {
+		panic(err)
+	}
+}
+
+// MemoryInjector drives the full cross-resource chain: during a burst the
+// adversary VMs switch to the attack workload on the modelled host, the
+// host reallocates memory bandwidth, and the victim tier's capacity is
+// degraded according to the bandwidth left to the victim VM — memory
+// attack, CPU damage.
+type MemoryInjector struct {
+	host       *memmodel.Host
+	kind       memmodel.AttackKind
+	adversary  []string
+	victimVM   string
+	profile    memmodel.VictimProfile
+	net        *queueing.Network
+	victimTier int
+
+	// LastD records the degradation index currently applied (1 between
+	// bursts).
+	LastD float64
+	// BurstD records the degradation index of the most recent ON burst,
+	// which MemCA-FE reports to the backend.
+	BurstD float64
+}
+
+// MemoryInjectorConfig assembles a MemoryInjector.
+type MemoryInjectorConfig struct {
+	// Host is the physical machine model co-hosting adversary and victim.
+	Host *memmodel.Host
+	// Kind selects bus saturation or memory locking.
+	Kind memmodel.AttackKind
+	// AdversaryVMs are the IDs of the attack VMs on Host.
+	AdversaryVMs []string
+	// VictimVM is the ID of the victim VM on Host.
+	VictimVM string
+	// Profile characterizes the victim's bandwidth sensitivity.
+	Profile memmodel.VictimProfile
+	// Network and VictimTier locate the victim tier to degrade.
+	Network    *queueing.Network
+	VictimTier int
+}
+
+// NewMemoryInjector validates the wiring and builds the injector.
+func NewMemoryInjector(cfg MemoryInjectorConfig) (*MemoryInjector, error) {
+	if cfg.Host == nil {
+		return nil, fmt.Errorf("attack: host must not be nil")
+	}
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("attack: network must not be nil")
+	}
+	if cfg.Kind != memmodel.AttackBusSaturation && cfg.Kind != memmodel.AttackMemoryLock {
+		return nil, fmt.Errorf("attack: unknown attack kind %v", cfg.Kind)
+	}
+	if len(cfg.AdversaryVMs) == 0 {
+		return nil, fmt.Errorf("attack: need at least one adversary VM")
+	}
+	for _, id := range cfg.AdversaryVMs {
+		if _, err := cfg.Host.VM(id); err != nil {
+			return nil, fmt.Errorf("attack: adversary VM: %w", err)
+		}
+	}
+	if _, err := cfg.Host.VM(cfg.VictimVM); err != nil {
+		return nil, fmt.Errorf("attack: victim VM: %w", err)
+	}
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.VictimTier < 0 || cfg.VictimTier >= cfg.Network.NumTiers() {
+		return nil, fmt.Errorf("attack: victim tier %d out of range [0,%d)", cfg.VictimTier, cfg.Network.NumTiers())
+	}
+	// The victim VM runs its application workload so the allocator gives
+	// it the bandwidth the profile says it needs.
+	if err := cfg.Host.SetWorkload(cfg.VictimVM, memmodel.WorkloadVictim, cfg.Profile.DemandMBps, 0); err != nil {
+		return nil, fmt.Errorf("attack: configuring victim VM: %w", err)
+	}
+	return &MemoryInjector{
+		host:       cfg.Host,
+		kind:       cfg.Kind,
+		adversary:  cfg.AdversaryVMs,
+		victimVM:   cfg.VictimVM,
+		profile:    cfg.Profile,
+		net:        cfg.Network,
+		victimTier: cfg.VictimTier,
+	}, nil
+}
+
+// BurstStart implements Injector: flip the adversary VMs to the attack
+// workload at the given intensity and degrade the victim tier according to
+// the resulting bandwidth allocation.
+func (mi *MemoryInjector) BurstStart(intensity float64) {
+	if intensity <= 0 {
+		intensity = 1
+	}
+	if intensity > 1 {
+		intensity = 1
+	}
+	for _, id := range mi.adversary {
+		switch mi.kind {
+		case memmodel.AttackBusSaturation:
+			demand := intensity * mi.host.Config().SingleCoreDemandMBps
+			mi.mustSetWorkload(id, memmodel.WorkloadStream, demand, 0)
+		case memmodel.AttackMemoryLock:
+			mi.mustSetWorkload(id, memmodel.WorkloadLock, 0, intensity)
+		}
+	}
+	mi.applyVictimCapacity()
+	mi.BurstD = mi.LastD
+}
+
+// BurstEnd implements Injector: idle the adversaries and restore capacity.
+func (mi *MemoryInjector) BurstEnd() {
+	for _, id := range mi.adversary {
+		mi.mustSetWorkload(id, memmodel.WorkloadIdle, 0, 0)
+	}
+	mi.applyVictimCapacity()
+}
+
+// applyVictimCapacity recomputes the host allocation and pushes the
+// resulting degradation index into the victim tier.
+func (mi *MemoryInjector) applyVictimCapacity() {
+	alloc := mi.host.Allocate()
+	d := memmodel.CapacityMultiplier(mi.profile, alloc.PerVM[mi.victimVM], alloc.LockSeverity)
+	mi.LastD = d
+	if err := mi.net.SetCapacityMultiplier(mi.victimTier, d); err != nil {
+		panic(err) // tier was validated at construction
+	}
+}
+
+func (mi *MemoryInjector) mustSetWorkload(id string, w memmodel.Workload, demand, duty float64) {
+	if err := mi.host.SetWorkload(id, w, demand, duty); err != nil {
+		panic(err) // VM IDs were validated at construction
+	}
+}
+
+// Verify interface compliance.
+var (
+	_ Injector = (*DirectInjector)(nil)
+	_ Injector = (*MemoryInjector)(nil)
+)

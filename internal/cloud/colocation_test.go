@@ -1,0 +1,115 @@
+package cloud
+
+import (
+	"math/rand"
+	"testing"
+
+	"memca/internal/memmodel"
+)
+
+func campaignPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p := NewPlatform()
+	if _, err := p.AddHost("host1", memmodel.XeonE5_2603v3()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Place("mysql", "host1", C3Large(), 0); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCoLocationCampaignValidation(t *testing.T) {
+	p := campaignPlatform(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := p.RunCoLocationCampaign(nil, DefaultCoLocationCampaign(), "adv", "mysql", PrivateCloudVM()); err == nil {
+		t.Error("nil rng accepted")
+	}
+	bad := DefaultCoLocationCampaign()
+	bad.SuccessProbability = 0
+	if _, err := p.RunCoLocationCampaign(rng, bad, "adv", "mysql", PrivateCloudVM()); err == nil {
+		t.Error("zero probability accepted")
+	}
+	bad = DefaultCoLocationCampaign()
+	bad.CostPerAttempt = -1
+	if _, err := p.RunCoLocationCampaign(rng, bad, "adv", "mysql", PrivateCloudVM()); err == nil {
+		t.Error("negative cost accepted")
+	}
+	if _, err := p.RunCoLocationCampaign(rng, DefaultCoLocationCampaign(), "adv", "ghost", PrivateCloudVM()); err == nil {
+		t.Error("unplaced target accepted")
+	}
+}
+
+func TestCoLocationCampaignSucceedsAndPlaces(t *testing.T) {
+	p := campaignPlatform(t)
+	rng := rand.New(rand.NewSource(7))
+	cfg := DefaultCoLocationCampaign()
+	out, err := p.RunCoLocationCampaign(rng, cfg, "adv", "mysql", PrivateCloudVM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Succeeded {
+		t.Fatalf("campaign failed in %d attempts at p=%v", out.Attempts, cfg.SuccessProbability)
+	}
+	if out.Cost != float64(out.Attempts)*cfg.CostPerAttempt {
+		t.Errorf("cost %v for %d attempts at %v each", out.Cost, out.Attempts, cfg.CostPerAttempt)
+	}
+	advHost, err := p.HostOf("adv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advHost.ID != "host1" {
+		t.Errorf("adversary on %q, want host1", advHost.ID)
+	}
+}
+
+func TestCoLocationCampaignCostMatchesPaperRange(t *testing.T) {
+	// Expected cost = CostPerAttempt / p. Over many campaigns at the
+	// paper's parameters the mean cost should land inside the measured
+	// $0.137-$5.304 range.
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultCoLocationCampaign()
+	total := 0.0
+	const runs = 2000
+	for i := 0; i < runs; i++ {
+		p := NewPlatform()
+		if _, err := p.AddHost("h", memmodel.XeonE5_2603v3()); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Place("mysql", "h", C3Large(), 0); err != nil {
+			t.Fatal(err)
+		}
+		out, err := p.RunCoLocationCampaign(rng, cfg, "adv", "mysql", PrivateCloudVM())
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += out.Cost
+	}
+	mean := total / runs
+	want := cfg.CostPerAttempt / cfg.SuccessProbability
+	if mean < want*0.9 || mean > want*1.1 {
+		t.Errorf("mean cost %v, want ~%v (geometric)", mean, want)
+	}
+	if mean < 0.137 || mean > 5.304 {
+		t.Errorf("mean cost $%.3f outside the paper's measured range", mean)
+	}
+}
+
+func TestCoLocationCampaignBounded(t *testing.T) {
+	p := campaignPlatform(t)
+	rng := rand.New(rand.NewSource(1))
+	cfg := CoLocationCampaignConfig{SuccessProbability: 1e-9, CostPerAttempt: 1, MaxAttempts: 5}
+	out, err := p.RunCoLocationCampaign(rng, cfg, "adv", "mysql", PrivateCloudVM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Succeeded {
+		t.Error("campaign at p=1e-9 should fail")
+	}
+	if out.Attempts != 5 {
+		t.Errorf("attempts = %d, want capped 5", out.Attempts)
+	}
+	if _, err := p.HostOf("adv"); err == nil {
+		t.Error("failed campaign still placed the adversary")
+	}
+}

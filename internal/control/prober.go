@@ -1,0 +1,126 @@
+package control
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"memca/internal/sim"
+)
+
+// SubmitFunc issues one lightweight probe request and invokes done with
+// the observed response time when the reply (or a timeout surrogate)
+// arrives. The MemCA backend plugs the target website's HTTP front door in
+// here; the simulation plugs the queueing network's front tier.
+type SubmitFunc func(done func(rt time.Duration))
+
+// ProberConfig parameterizes the response-time prober.
+type ProberConfig struct {
+	// Period separates probe requests (lightweight: one per second by
+	// default, invisible against the legitimate load).
+	Period time.Duration
+	// Window is how many recent probes percentile queries consider.
+	Window int
+}
+
+// DefaultProberConfig returns a 1-second probe with a 60-sample window.
+func DefaultProberConfig() ProberConfig {
+	return ProberConfig{Period: time.Second, Window: 60}
+}
+
+// Prober periodically sends probe requests and answers percentile queries
+// over the most recent window — MemCA-BE's view of the victim's tail.
+type Prober struct {
+	engine *sim.Engine
+	cfg    ProberConfig
+	submit SubmitFunc
+
+	running bool
+	ring    []time.Duration
+	next    int
+	filled  bool
+	total   uint64
+}
+
+// NewProber validates and builds a prober; Start begins probing.
+func NewProber(engine *sim.Engine, cfg ProberConfig, submit SubmitFunc) (*Prober, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("control: engine must not be nil")
+	}
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("control: probe period must be positive, got %v", cfg.Period)
+	}
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("control: probe window must be positive, got %d", cfg.Window)
+	}
+	if submit == nil {
+		return nil, fmt.Errorf("control: submit must not be nil")
+	}
+	return &Prober{
+		engine: engine,
+		cfg:    cfg,
+		submit: submit,
+		ring:   make([]time.Duration, cfg.Window),
+	}, nil
+}
+
+// Start begins periodic probing. Idempotent while running.
+func (p *Prober) Start() {
+	if p.running {
+		return
+	}
+	p.running = true
+	p.tick()
+}
+
+// Stop halts probing after the in-flight probe.
+func (p *Prober) Stop() { p.running = false }
+
+func (p *Prober) tick() {
+	if !p.running {
+		return
+	}
+	p.submit(func(rt time.Duration) { p.record(rt) })
+	p.engine.Schedule(p.cfg.Period, p.tick)
+}
+
+func (p *Prober) record(rt time.Duration) {
+	p.ring[p.next] = rt
+	p.next++
+	p.total++
+	if p.next == len(p.ring) {
+		p.next = 0
+		p.filled = true
+	}
+}
+
+// Samples returns how many probes are currently in the window.
+func (p *Prober) Samples() int {
+	if p.filled {
+		return len(p.ring)
+	}
+	return p.next
+}
+
+// Total returns the number of probe responses recorded overall.
+func (p *Prober) Total() uint64 { return p.total }
+
+// Percentile returns the pct-th percentile of the current window, or 0
+// with no samples.
+func (p *Prober) Percentile(pct float64) time.Duration {
+	n := p.Samples()
+	if n == 0 {
+		return 0
+	}
+	cp := make([]time.Duration, n)
+	copy(cp, p.ring[:n])
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	idx := int(pct / 100 * float64(n-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return cp[idx]
+}

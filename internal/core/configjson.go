@@ -1,0 +1,180 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"memca/internal/attack"
+	"memca/internal/memmodel"
+	"memca/internal/monitor"
+)
+
+// ConfigJSON is the file-facing experiment schema: durations are Go
+// duration strings ("500ms", "2s"), enums are lowercase names. It covers
+// everything except custom tier topologies, which remain code-level.
+type ConfigJSON struct {
+	Seed      int64  `json:"seed"`
+	Env       string `json:"env"`        // "ec2" or "private-cloud"
+	Duration  string `json:"duration"`   // e.g. "3m"
+	Warmup    string `json:"warmup"`     // e.g. "20s"
+	Clients   int    `json:"clients"`    // e.g. 3500
+	ThinkTime string `json:"think_time"` // e.g. "7s"
+
+	Attack *struct {
+		Kind         string  `json:"kind"` // "lock" or "saturation"
+		Intensity    float64 `json:"intensity"`
+		BurstLength  string  `json:"burst_length"`
+		Interval     string  `json:"interval"`
+		AdversaryVMs int     `json:"adversary_vms"`
+	} `json:"attack,omitempty"`
+
+	Feedback *struct {
+		TargetP95          string `json:"target_p95"`
+		MaxMillibottleneck string `json:"max_millibottleneck"`
+		DecisionEvery      string `json:"decision_every"`
+	} `json:"feedback,omitempty"`
+
+	Scaling *struct {
+		Threshold    float64 `json:"threshold"`
+		MaxInstances int     `json:"max_instances"`
+	} `json:"scaling,omitempty"`
+
+	Defense *struct {
+		SplitLockProtection   bool    `json:"split_lock_protection"`
+		VictimReservationMBps float64 `json:"victim_reservation_mbps"`
+	} `json:"defense,omitempty"`
+
+	RecordSeries    bool   `json:"record_series,omitempty"`
+	LLCSamplePeriod string `json:"llc_sample_period,omitempty"`
+}
+
+// LoadConfig reads a ConfigJSON file and converts it to a validated
+// Config. Missing fields fall back to DefaultConfig values.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("core: reading config: %w", err)
+	}
+	var j ConfigJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return Config{}, fmt.Errorf("core: parsing config %s: %w", path, err)
+	}
+	return j.ToConfig()
+}
+
+// parseDur parses a duration string, returning def for empty input.
+func parseDur(s string, def time.Duration) (time.Duration, error) {
+	if s == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("core: bad duration %q: %w", s, err)
+	}
+	return d, nil
+}
+
+// ToConfig converts the file schema into a validated Config.
+func (j ConfigJSON) ToConfig() (Config, error) {
+	def := DefaultConfig()
+	cfg := Config{
+		Seed:         j.Seed,
+		Clients:      j.Clients,
+		RecordSeries: j.RecordSeries,
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = def.Clients
+	}
+	switch j.Env {
+	case "", "ec2":
+		cfg.Env = EnvEC2
+	case "private-cloud", "private":
+		cfg.Env = EnvPrivateCloud
+	default:
+		return Config{}, fmt.Errorf("core: unknown env %q", j.Env)
+	}
+	var err error
+	if cfg.Duration, err = parseDur(j.Duration, def.Duration); err != nil {
+		return Config{}, err
+	}
+	if cfg.Warmup, err = parseDur(j.Warmup, def.Warmup); err != nil {
+		return Config{}, err
+	}
+	if cfg.ThinkTime, err = parseDur(j.ThinkTime, def.ThinkTime); err != nil {
+		return Config{}, err
+	}
+	if j.LLCSamplePeriod != "" {
+		if cfg.LLCSamplePeriod, err = parseDur(j.LLCSamplePeriod, 0); err != nil {
+			return Config{}, err
+		}
+	}
+
+	if j.Attack != nil {
+		spec := AttackSpec{AdversaryVMs: j.Attack.AdversaryVMs}
+		if spec.AdversaryVMs == 0 {
+			spec.AdversaryVMs = 1
+		}
+		switch j.Attack.Kind {
+		case "", "lock", "memory-lock":
+			spec.Kind = memmodel.AttackMemoryLock
+		case "saturation", "bus-saturation":
+			spec.Kind = memmodel.AttackBusSaturation
+		default:
+			return Config{}, fmt.Errorf("core: unknown attack kind %q", j.Attack.Kind)
+		}
+		spec.Params = attack.Params{Intensity: j.Attack.Intensity}
+		if spec.Params.Intensity == 0 {
+			spec.Params.Intensity = 1
+		}
+		if spec.Params.BurstLength, err = parseDur(j.Attack.BurstLength, def.Attack.Params.BurstLength); err != nil {
+			return Config{}, err
+		}
+		if spec.Params.Interval, err = parseDur(j.Attack.Interval, def.Attack.Params.Interval); err != nil {
+			return Config{}, err
+		}
+		cfg.Attack = &spec
+	}
+
+	if j.Feedback != nil {
+		fb := DefaultFeedback()
+		if fb.Goal.TargetRT, err = parseDur(j.Feedback.TargetP95, fb.Goal.TargetRT); err != nil {
+			return Config{}, err
+		}
+		if fb.Goal.MaxMillibottleneck, err = parseDur(j.Feedback.MaxMillibottleneck, fb.Goal.MaxMillibottleneck); err != nil {
+			return Config{}, err
+		}
+		if fb.DecisionEvery, err = parseDur(j.Feedback.DecisionEvery, fb.DecisionEvery); err != nil {
+			return Config{}, err
+		}
+		cfg.Feedback = &fb
+	}
+
+	if j.Scaling != nil {
+		trigger := monitor.DefaultAutoScaler()
+		if j.Scaling.Threshold > 0 {
+			trigger.Threshold = j.Scaling.Threshold
+		}
+		max := j.Scaling.MaxInstances
+		if max == 0 {
+			max = 4
+		}
+		cfg.Scaling = &ScalingSpec{Trigger: trigger, MaxInstances: max}
+	}
+
+	if j.Defense != nil {
+		cfg.Defense = &DefenseSpec{
+			SplitLockProtection:   j.Defense.SplitLockProtection,
+			VictimReservationMBps: j.Defense.VictimReservationMBps,
+		}
+	}
+
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}

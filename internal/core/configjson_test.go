@@ -1,0 +1,136 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"memca/internal/memmodel"
+)
+
+func writeConfig(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadConfigFull(t *testing.T) {
+	path := writeConfig(t, `{
+		"seed": 7,
+		"env": "private-cloud",
+		"duration": "90s",
+		"warmup": "5s",
+		"clients": 500,
+		"think_time": "2s",
+		"attack": {
+			"kind": "saturation",
+			"intensity": 0.8,
+			"burst_length": "300ms",
+			"interval": "3s",
+			"adversary_vms": 2
+		},
+		"feedback": {
+			"target_p95": "800ms",
+			"max_millibottleneck": "900ms",
+			"decision_every": "4s"
+		},
+		"scaling": {"threshold": 0.9, "max_instances": 3},
+		"defense": {"split_lock_protection": true, "victim_reservation_mbps": 2500},
+		"record_series": true,
+		"llc_sample_period": "50ms"
+	}`)
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.Env != EnvPrivateCloud || cfg.Clients != 500 {
+		t.Errorf("basic fields wrong: %+v", cfg)
+	}
+	if cfg.Duration != 90*time.Second || cfg.Warmup != 5*time.Second || cfg.ThinkTime != 2*time.Second {
+		t.Errorf("durations wrong: %+v", cfg)
+	}
+	if cfg.Attack == nil || cfg.Attack.Kind != memmodel.AttackBusSaturation ||
+		cfg.Attack.Params.Intensity != 0.8 || cfg.Attack.Params.BurstLength != 300*time.Millisecond ||
+		cfg.Attack.Params.Interval != 3*time.Second || cfg.Attack.AdversaryVMs != 2 {
+		t.Errorf("attack wrong: %+v", cfg.Attack)
+	}
+	if cfg.Feedback == nil || cfg.Feedback.Goal.TargetRT != 800*time.Millisecond ||
+		cfg.Feedback.DecisionEvery != 4*time.Second {
+		t.Errorf("feedback wrong: %+v", cfg.Feedback)
+	}
+	if cfg.Scaling == nil || cfg.Scaling.Trigger.Threshold != 0.9 || cfg.Scaling.MaxInstances != 3 {
+		t.Errorf("scaling wrong: %+v", cfg.Scaling)
+	}
+	if cfg.Defense == nil || !cfg.Defense.SplitLockProtection || cfg.Defense.VictimReservationMBps != 2500 {
+		t.Errorf("defense wrong: %+v", cfg.Defense)
+	}
+	if !cfg.RecordSeries || cfg.LLCSamplePeriod != 50*time.Millisecond {
+		t.Errorf("extras wrong: %+v", cfg)
+	}
+}
+
+func TestLoadConfigDefaults(t *testing.T) {
+	path := writeConfig(t, `{"attack": {}}`)
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultConfig()
+	if cfg.Env != def.Env || cfg.Duration != def.Duration || cfg.Clients != def.Clients {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if cfg.Attack == nil || cfg.Attack.Kind != memmodel.AttackMemoryLock ||
+		cfg.Attack.Params != def.Attack.Params || cfg.Attack.AdversaryVMs != 1 {
+		t.Errorf("attack defaults wrong: %+v", cfg.Attack)
+	}
+}
+
+func TestLoadConfigBaseline(t *testing.T) {
+	path := writeConfig(t, `{"duration": "30s"}`)
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Attack != nil {
+		t.Error("attack present without an attack stanza")
+	}
+	// The loaded config must actually run.
+	cfg.Clients = 100
+	cfg.Warmup = time.Second
+	x, err := NewExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadConfigErrors(t *testing.T) {
+	cases := []struct {
+		name, body string
+	}{
+		{"bad json", `{`},
+		{"bad env", `{"env": "azure"}`},
+		{"bad duration", `{"duration": "three minutes"}`},
+		{"bad attack kind", `{"attack": {"kind": "rowhammer"}}`},
+		{"bad burst", `{"attack": {"burst_length": "xx"}}`},
+		{"feedback without attack", `{"feedback": {}}`},
+		{"negative reservation", `{"attack": {}, "defense": {"victim_reservation_mbps": -5}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeConfig(t, tc.body)
+			if _, err := LoadConfig(path); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+	if _, err := LoadConfig(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"memca/internal/attack"
+	"memca/internal/cloud"
+	"memca/internal/control"
+	"memca/internal/memmodel"
+	"memca/internal/monitor"
+	"memca/internal/queueing"
+	"memca/internal/sim"
+	"memca/internal/workload"
+)
+
+// Experiment is one fully wired MemCA run. Build with NewExperiment, run
+// once with Run, then inspect the Report and the exposed components.
+type Experiment struct {
+	cfg      Config
+	engine   *sim.Engine
+	platform *cloud.Platform
+	network  *queueing.Network
+	gen      *workload.Generator
+
+	// Attack-side components (nil without an AttackSpec).
+	injector  *attack.MemoryInjector
+	burster   *attack.Burster
+	prober    *control.Prober
+	commander *control.Commander
+	scaling   *cloud.ScalingGroup
+	victim    *cloud.HostNode
+
+	llcVictim    *monitor.PeriodicSampler
+	llcAdversary *monitor.PeriodicSampler
+
+	ran bool
+}
+
+// NewExperiment validates the configuration and wires every component.
+func NewExperiment(cfg Config) (*Experiment, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	x := &Experiment{cfg: cfg}
+	x.engine = sim.NewEngine(cfg.Seed)
+
+	// Cloud platform: one dedicated host per tier (the paper's Figure 8
+	// topology), the web/app/db VMs placed on them, adversaries
+	// co-located with MySQL.
+	hostCfg, err := cfg.Env.HostConfig()
+	if err != nil {
+		return nil, err
+	}
+	x.platform = cloud.NewPlatform()
+	for i, name := range tierNames {
+		if _, err := x.platform.AddHost(fmt.Sprintf("host%d", i+1), hostCfg); err != nil {
+			return nil, fmt.Errorf("core: adding host for %s: %w", name, err)
+		}
+	}
+	instType := cloud.C3Large()
+	if cfg.Env == EnvPrivateCloud {
+		instType = cloud.PrivateCloudVM()
+	}
+	for i, name := range tierNames {
+		if err := x.platform.Place(name, fmt.Sprintf("host%d", i+1), instType, 0); err != nil {
+			return nil, fmt.Errorf("core: placing %s: %w", name, err)
+		}
+	}
+	x.victim, err = x.platform.HostOf("mysql")
+	if err != nil {
+		return nil, err
+	}
+
+	// n-tier system and client population.
+	tiers := cfg.Tiers
+	if tiers == nil {
+		tiers = workload.RUBBoSTiers()
+	}
+	x.network, err = queueing.New(x.engine, queueing.Config{
+		Mode:    queueing.ModeNTierRPC,
+		Tiers:   tiers,
+		Classes: workload.RUBBoSClasses(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	x.gen, err = workload.NewGenerator(x.network, workload.GeneratorConfig{
+		Clients:    cfg.Clients,
+		ThinkTime:  sim.NewExponential(cfg.ThinkTime),
+		Profile:    workload.RUBBoSProfile(),
+		Retransmit: queueing.DefaultRetransmit(),
+		RampUp:     10 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	x.gen.RecordSeries(cfg.RecordSeries)
+
+	if cfg.Defense != nil {
+		x.victim.Mem.SetSplitLockProtection(cfg.Defense.SplitLockProtection)
+		if cfg.Defense.VictimReservationMBps > 0 {
+			if err := x.victim.Mem.ReserveBandwidth("mysql", cfg.Defense.VictimReservationMBps); err != nil {
+				return nil, fmt.Errorf("core: victim reservation: %w", err)
+			}
+		}
+	}
+	if cfg.Attack != nil {
+		if err := x.wireAttack(*cfg.Attack); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Feedback != nil {
+		if err := x.wireFeedback(*cfg.Feedback); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Scaling != nil {
+		x.scaling, err = cloud.NewScalingGroup(cloud.ScalingGroupConfig{
+			Engine:         x.engine,
+			Network:        x.network,
+			Tier:           x.victimTier(),
+			Trigger:        cfg.Scaling.Trigger,
+			MaxInstances:   cfg.Scaling.MaxInstances,
+			ProvisionDelay: cfg.Scaling.ProvisionDelay,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.LLCSamplePeriod > 0 {
+		if err := x.wireLLCProfilers(); err != nil {
+			return nil, err
+		}
+	}
+	return x, nil
+}
+
+// victimTier is the bottleneck tier index (the back-most tier).
+func (x *Experiment) victimTier() int { return x.network.NumTiers() - 1 }
+
+func (x *Experiment) wireAttack(spec AttackSpec) error {
+	adversaries := make([]string, 0, spec.AdversaryVMs)
+	for i := 0; i < spec.AdversaryVMs; i++ {
+		id := fmt.Sprintf("adversary%d", i+1)
+		if err := x.platform.CoLocate(id, "mysql", cloud.PrivateCloudVM(), 0); err != nil {
+			return fmt.Errorf("core: co-locating %s: %w", id, err)
+		}
+		adversaries = append(adversaries, id)
+	}
+	injector, err := attack.NewMemoryInjector(attack.MemoryInjectorConfig{
+		Host:         x.victim.Mem,
+		Kind:         spec.Kind,
+		AdversaryVMs: adversaries,
+		VictimVM:     "mysql",
+		Profile:      memmodel.MySQLProfile(),
+		Network:      x.network,
+		VictimTier:   x.victimTier(),
+	})
+	if err != nil {
+		return err
+	}
+	x.injector = injector
+	x.burster, err = attack.NewBurster(x.engine, injector, spec.Params)
+	return err
+}
+
+func (x *Experiment) wireFeedback(spec FeedbackSpec) error {
+	// The probe behaves like a real HTTP client: a dropped connection is
+	// retransmitted after the TCP RTO, and the reported latency spans
+	// the whole exchange — so the commander sees the damage it causes.
+	policy := queueing.DefaultRetransmit()
+	var fire func(first time.Duration, attempt int, done func(rt time.Duration))
+	fire = func(first time.Duration, attempt int, done func(rt time.Duration)) {
+		_, err := x.network.Submit(queueing.SubmitOpts{
+			Class:        probeClass,
+			FirstAttempt: first,
+			Attempt:      attempt,
+			OnComplete:   func(req *queueing.Request) { done(req.ClientRT()) },
+			OnDrop: func(req *queueing.Request) {
+				next := req.Attempt + 1
+				rto := policy.RTO(next)
+				if next > policy.MaxRetries {
+					// Give up; report the time burned so far.
+					done(x.engine.Now() + rto - req.FirstAttempt)
+					return
+				}
+				f := req.FirstAttempt
+				x.engine.Schedule(rto, func() { fire(f, next, done) })
+			},
+		})
+		if err != nil {
+			panic(err) // probeClass is a valid constant
+		}
+	}
+	submit := func(done func(rt time.Duration)) { fire(0, 0, done) }
+	prober, err := control.NewProber(x.engine, spec.Prober, submit)
+	if err != nil {
+		return err
+	}
+	x.prober = prober
+	x.commander, err = control.NewCommander(spec.Goal, spec.Bounds, x.burster.Params())
+	return err
+}
+
+func (x *Experiment) wireLLCProfilers() error {
+	mem := x.victim.Mem
+	gauge := func(vmID string) func() float64 {
+		return func() float64 {
+			rate, err := mem.LLCMissRate(vmID)
+			if err != nil {
+				panic(err) // VMs were placed at construction
+			}
+			return rate
+		}
+	}
+	var err error
+	x.llcVictim, err = monitor.NewPeriodicSampler(x.engine, "llc-mysql", x.cfg.LLCSamplePeriod, gauge("mysql"))
+	if err != nil {
+		return err
+	}
+	if x.cfg.Attack != nil && x.cfg.Attack.AdversaryVMs > 0 {
+		x.llcAdversary, err = monitor.NewPeriodicSampler(x.engine, "llc-adversary", x.cfg.LLCSamplePeriod, gauge("adversary1"))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes warm-up plus the measured phase and returns the report. An
+// experiment runs once; further calls return an error.
+func (x *Experiment) Run() (*Report, error) {
+	if x.ran {
+		return nil, fmt.Errorf("core: experiment already ran")
+	}
+	x.ran = true
+
+	x.gen.Start()
+	x.engine.Run(x.cfg.Warmup)
+	x.gen.ResetMetrics()
+	x.network.ResetTierSamples()
+	measureStart := x.engine.Now()
+
+	if x.burster != nil {
+		x.burster.Start()
+	}
+	if x.prober != nil {
+		x.prober.Start()
+	}
+	if x.scaling != nil {
+		x.scaling.Start()
+	}
+	if x.llcVictim != nil {
+		x.llcVictim.Start()
+	}
+	if x.llcAdversary != nil {
+		x.llcAdversary.Start()
+	}
+	if x.commander != nil {
+		x.scheduleDecision()
+	}
+
+	end := measureStart + x.cfg.Duration
+	x.engine.Run(end)
+
+	// Quiesce: stop sources and attack, then drain in-flight work.
+	x.gen.Stop()
+	if x.burster != nil {
+		x.burster.Stop()
+	}
+	if x.prober != nil {
+		x.prober.Stop()
+	}
+	if x.scaling != nil {
+		x.scaling.Stop()
+	}
+	if x.llcVictim != nil {
+		x.llcVictim.Stop()
+	}
+	if x.llcAdversary != nil {
+		x.llcAdversary.Stop()
+	}
+	if err := x.engine.RunAll(50_000_000); err != nil {
+		return nil, fmt.Errorf("core: drain phase: %w", err)
+	}
+	return x.buildReport(measureStart, end)
+}
+
+func (x *Experiment) scheduleDecision() {
+	every := x.cfg.Feedback.DecisionEvery
+	x.engine.Schedule(every, func() {
+		if x.burster == nil || !withinRun(x) {
+			return
+		}
+		obs := control.Observation{
+			TailRT: x.prober.Percentile(x.cfg.Feedback.Goal.Percentile),
+			// The FE's conservative millibottleneck estimate is the
+			// attack program's execution time, i.e. the burst length.
+			Millibottleneck: x.burster.Params().BurstLength,
+		}
+		next := x.commander.Decide(obs)
+		if err := x.burster.SetParams(next); err != nil {
+			panic(err) // commander clamps to valid bounds
+		}
+		x.scheduleDecision()
+	})
+}
+
+// withinRun reports whether the measured phase is still in progress.
+func withinRun(x *Experiment) bool {
+	return x.engine.Now() < x.cfg.Warmup+x.cfg.Duration
+}
+
+// Engine exposes the simulation engine (for tests and figure scripts).
+func (x *Experiment) Engine() *sim.Engine { return x.engine }
+
+// Network exposes the n-tier system.
+func (x *Experiment) Network() *queueing.Network { return x.network }
+
+// Generator exposes the client population.
+func (x *Experiment) Generator() *workload.Generator { return x.gen }
+
+// Burster exposes the attack scheduler, or nil without an attack.
+func (x *Experiment) Burster() *attack.Burster { return x.burster }
+
+// Commander exposes the feedback controller, or nil without feedback.
+func (x *Experiment) Commander() *control.Commander { return x.commander }
+
+// Prober exposes the tail prober, or nil without feedback.
+func (x *Experiment) Prober() *control.Prober { return x.prober }
+
+// Scaling exposes the auto-scaling group, or nil without scaling.
+func (x *Experiment) Scaling() *cloud.ScalingGroup { return x.scaling }
+
+// VictimHost exposes the physical host co-hosting MySQL and adversaries.
+func (x *Experiment) VictimHost() *cloud.HostNode { return x.victim }
+
+// LLCVictimSeries returns the sampled MySQL-VM LLC miss series, or nil.
+func (x *Experiment) LLCVictimSeries() *monitor.PeriodicSampler { return x.llcVictim }
+
+// LLCAdversarySeries returns the adversary-VM LLC miss series, or nil.
+func (x *Experiment) LLCAdversarySeries() *monitor.PeriodicSampler { return x.llcAdversary }

@@ -1,0 +1,332 @@
+package figures
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"memca/internal/analytical"
+	"memca/internal/attack"
+	"memca/internal/core"
+	"memca/internal/memmodel"
+	"memca/internal/queueing"
+	"memca/internal/sim"
+	"memca/internal/stats"
+	"memca/internal/trace"
+	"memca/internal/workload"
+)
+
+// AblationPoint is one configuration's outcome in a sweep.
+type AblationPoint struct {
+	// Label identifies the configuration (e.g. "L=500ms").
+	Label string
+	// ClientP95 and ClientP99 are the damage metrics.
+	ClientP95 time.Duration
+	ClientP99 time.Duration
+	// CoarseUtil is the 1-minute mean CPU of the victim (stealth).
+	CoarseUtil float64
+	// Drops counts front-tier rejections.
+	Drops uint64
+}
+
+// AblationResult aggregates one sweep.
+type AblationResult struct {
+	Name   string
+	Points []AblationPoint
+}
+
+// runAttackVariant runs the default experiment with the given mutation
+// applied to its configuration and summarizes it as an AblationPoint.
+func runAttackVariant(opts Options, label string, mutate func(*core.Config)) (AblationPoint, error) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = opts.Seed
+	cfg.Duration = opts.duration(2 * time.Minute)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	x, err := core.NewExperiment(cfg)
+	if err != nil {
+		return AblationPoint{}, fmt.Errorf("figures: ablation %s: %w", label, err)
+	}
+	rep, err := x.Run()
+	if err != nil {
+		return AblationPoint{}, fmt.Errorf("figures: ablation %s run: %w", label, err)
+	}
+	p := AblationPoint{
+		Label:     label,
+		ClientP95: rep.Client.P95,
+		ClientP99: rep.Client.P99,
+		Drops:     rep.Drops,
+	}
+	// Use the coarsest available utilization view (the 1-minute view is
+	// skipped when quick-mode horizons are shorter than a minute).
+	coarsest := time.Duration(0)
+	for _, v := range rep.VictimUtilization {
+		if v.Granularity > coarsest {
+			coarsest = v.Granularity
+			p.CoarseUtil = v.Mean
+		}
+	}
+	return p, nil
+}
+
+// AblationBurstLength sweeps the burst length L at fixed I = 2 s: the
+// damage-vs-stealth trade-off of Equations (7) and (10). Short bursts
+// never complete the build-up stage (no damage); long bursts raise the
+// coarse utilization toward detectability.
+func AblationBurstLength(opts Options) (*AblationResult, error) {
+	res := &AblationResult{Name: "burst-length"}
+	for _, l := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 350 * time.Millisecond, 500 * time.Millisecond, 800 * time.Millisecond} {
+		l := l
+		p, err := runAttackVariant(opts, fmt.Sprintf("L=%v", l), func(c *core.Config) {
+			c.Attack.Params.BurstLength = l
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, writeAblation(opts, "ablation_burst_length.csv", res)
+}
+
+// AblationInterval sweeps the burst interval I at fixed L = 500 ms: the
+// frequency axis of Equation (8), ρ = P_D / I.
+func AblationInterval(opts Options) (*AblationResult, error) {
+	res := &AblationResult{Name: "interval"}
+	for _, iv := range []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second} {
+		iv := iv
+		p, err := runAttackVariant(opts, fmt.Sprintf("I=%v", iv), func(c *core.Config) {
+			c.Attack.Params.Interval = iv
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, writeAblation(opts, "ablation_interval.csv", res)
+}
+
+// AblationMechanisms removes the three amplification mechanisms one at a
+// time, quantifying each one's contribution to the client tail:
+//
+//   - "full": the complete model (slot-holding, finite queues, TCP
+//     retransmission);
+//   - "no-retransmit": drops are final — the RTO floor disappears from
+//     the client tail;
+//   - "infinite-queues": nothing is ever dropped — only queueing delay
+//     remains;
+//   - "no-slot-holding": tandem coupling — overflow cannot propagate.
+//
+// It uses the model-level network (open-loop arrivals) so the mechanisms
+// can be toggled independently of the closed-loop client population.
+func AblationMechanisms(opts Options) (*AblationResult, error) {
+	d, params := fig6Attack()
+	horizon := opts.duration(2 * time.Minute)
+	res := &AblationResult{Name: "mechanisms"}
+
+	type variant struct {
+		label      string
+		mode       queueing.Mode
+		infinite   bool
+		retransmit bool
+	}
+	variants := []variant{
+		{"full", queueing.ModeNTierRPC, false, true},
+		{"no-retransmit", queueing.ModeNTierRPC, false, false},
+		{"infinite-queues", queueing.ModeNTierRPC, true, false},
+		{"no-slot-holding", queueing.ModeTandem, true, false},
+	}
+	m := rubbosModelLimits()
+	for _, v := range variants {
+		limits := m
+		if v.infinite {
+			limits = [3]int{queueing.Infinite, queueing.Infinite, queueing.Infinite}
+		}
+		e := sim.NewEngine(opts.Seed)
+		n, sources, err := buildModelNetwork(e, v.mode, limits, v.retransmit)
+		if err != nil {
+			return nil, fmt.Errorf("figures: ablation %s: %w", v.label, err)
+		}
+		point, err := runModelAttack(e, n, sources, d, params, horizon)
+		if err != nil {
+			return nil, fmt.Errorf("figures: ablation %s: %w", v.label, err)
+		}
+		point.Label = v.label
+		res.Points = append(res.Points, point)
+	}
+	return res, writeAblation(opts, "ablation_mechanisms.csv", res)
+}
+
+// AblationAdversaries sweeps the number of co-located adversary VMs for
+// the bus-saturation attack (the lock attack needs only one, which is the
+// paper's point; saturation needs many to bite).
+func AblationAdversaries(opts Options) (*AblationResult, error) {
+	res := &AblationResult{Name: "adversaries"}
+	for _, k := range []int{1, 2, 4} {
+		k := k
+		p, err := runAttackVariant(opts, fmt.Sprintf("lock-x%d", k), func(c *core.Config) {
+			c.Attack.AdversaryVMs = k
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, p)
+	}
+	for _, k := range []int{1, 4} {
+		k := k
+		p, err := runAttackVariant(opts, fmt.Sprintf("saturation-x%d", k), func(c *core.Config) {
+			c.Attack.Kind = memmodel.AttackBusSaturation
+			c.Attack.AdversaryVMs = k
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, writeAblation(opts, "ablation_adversaries.csv", res)
+}
+
+// AblationLoad sweeps the legitimate client population: condition 2
+// (λ_n > C_n,ON) needs enough background load for the degraded bottleneck
+// to overflow, so a lightly loaded system resists the same attack.
+func AblationLoad(opts Options) (*AblationResult, error) {
+	res := &AblationResult{Name: "load"}
+	for _, clients := range []int{875, 1750, 3500, 5000} {
+		clients := clients
+		p, err := runAttackVariant(opts, fmt.Sprintf("clients=%d", clients), func(c *core.Config) {
+			c.Clients = clients
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, writeAblation(opts, "ablation_load.csv", res)
+}
+
+// AblationServiceDistribution swaps the per-tier service-time
+// distributions (the paper assumes exponential capacities) and reruns the
+// attack: tail amplification should be robust to the distributional
+// assumption because it is driven by capacity starvation and drops, not
+// by service-time variance.
+func AblationServiceDistribution(opts Options) (*AblationResult, error) {
+	res := &AblationResult{Name: "service-distribution"}
+	base := workload.RUBBoSTiers()
+	variants := []struct {
+		label string
+		make  func(mean time.Duration) sim.Dist
+	}{
+		{"exponential", func(m time.Duration) sim.Dist { return sim.NewExponential(m) }},
+		{"erlang-4", func(m time.Duration) sim.Dist { return sim.NewErlang(4, m) }},
+		{"lognormal-1.2", func(m time.Duration) sim.Dist { return sim.NewLogNormalFromMean(m, 1.2) }},
+		{"deterministic", func(m time.Duration) sim.Dist { return sim.NewDeterministic(m) }},
+	}
+	means := []time.Duration{600 * time.Microsecond, 1200 * time.Microsecond, 1600 * time.Microsecond}
+	for _, v := range variants {
+		v := v
+		p, err := runAttackVariant(opts, v.label, func(c *core.Config) {
+			tiers := make([]queueing.TierConfig, len(base))
+			copy(tiers, base)
+			for i := range tiers {
+				tiers[i].Service = v.make(means[i])
+			}
+			c.Tiers = tiers
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, writeAblation(opts, "ablation_service_distribution.csv", res)
+}
+
+func writeAblation(opts Options, name string, res *AblationResult) error {
+	path := opts.path(name)
+	if path == "" {
+		return nil
+	}
+	rows := make([][]string, 0, len(res.Points))
+	for _, p := range res.Points {
+		rows = append(rows, []string{
+			p.Label,
+			strconv.FormatFloat(p.ClientP95.Seconds()*1000, 'f', 1, 64),
+			strconv.FormatFloat(p.ClientP99.Seconds()*1000, 'f', 1, 64),
+			strconv.FormatFloat(p.CoarseUtil, 'f', 4, 64),
+			strconv.FormatUint(p.Drops, 10),
+		})
+	}
+	return trace.WriteCSV(path, []string{"config", "client_p95_ms", "client_p99_ms", "coarse_util", "drops"}, rows)
+}
+
+// rubbosModelLimits returns the analytical model's queue limits.
+func rubbosModelLimits() [3]int {
+	tiers := workload.RUBBoSTiers()
+	return [3]int{tiers[0].QueueLimit, tiers[1].QueueLimit, tiers[2].QueueLimit}
+}
+
+// buildModelNetwork is modelNetwork with a retransmission toggle.
+func buildModelNetwork(e *sim.Engine, mode queueing.Mode, limits [3]int, retransmit bool) (*queueing.Network, []*queueing.Source, error) {
+	n, sources, err := modelNetwork(e, mode, limits)
+	if err != nil {
+		return nil, nil, err
+	}
+	if retransmit {
+		return n, sources, nil
+	}
+	// Rebuild sources without retransmission (the originals were never
+	// started, so they generate no arrivals).
+	plain := make([]*queueing.Source, 0, len(sources))
+	for i, t := range analytical.RUBBoS3Tier().Tiers {
+		if t.ArrivalRate <= 0 {
+			continue
+		}
+		src, err := queueing.NewPoissonSource(n, queueing.SourceConfig{Class: i, Rate: t.ArrivalRate})
+		if err != nil {
+			return nil, nil, err
+		}
+		plain = append(plain, src)
+	}
+	return n, plain, nil
+}
+
+// runModelAttack drives an open-loop model network under ON-OFF bursts
+// and summarizes client damage.
+func runModelAttack(e *sim.Engine, n *queueing.Network, sources []*queueing.Source, d float64, params attack.Params, horizon time.Duration) (AblationPoint, error) {
+	inj, err := attack.NewDirectInjector(n, 2, d)
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	b, err := attack.NewBurster(e, inj, params)
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	for _, s := range sources {
+		s.Start()
+	}
+	e.Run(5 * time.Second)
+	b.Start()
+	e.Run(5*time.Second + horizon)
+	b.Stop()
+	for _, s := range sources {
+		s.Stop()
+	}
+	if err := e.RunAll(200_000_000); err != nil {
+		return AblationPoint{}, err
+	}
+	client := stats.NewSample(4096)
+	for _, s := range sources {
+		for _, rt := range s.ClientRT().Values() {
+			client.Add(rt)
+		}
+	}
+	busy, err := n.TierBusy(2)
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	return AblationPoint{
+		ClientP95:  client.Percentile(95),
+		ClientP99:  client.Percentile(99),
+		CoarseUtil: busy.WindowAverage(5*time.Second, 5*time.Second+horizon) / 2,
+		Drops:      n.Drops(),
+	}, nil
+}

@@ -1,0 +1,43 @@
+package figures
+
+import (
+	"testing"
+	"time"
+
+	"memca/internal/monitor"
+)
+
+func TestDetectorComparison(t *testing.T) {
+	opts := quickOpts(t)
+	res, err := DetectorComparison(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := func(det string, g time.Duration) int {
+		for _, c := range res.Cells {
+			if c.Detector == det && c.Granularity == g {
+				return c.Alarms
+			}
+		}
+		t.Fatalf("missing cell %s/%v", det, g)
+		return 0
+	}
+
+	// At 1 s granularity the hard-threshold detector stays quiet (the
+	// Section V-B claim); at 50 ms the millibottlenecks are plain.
+	if got := alarms("threshold", monitor.GranularityUser); got != 0 {
+		t.Errorf("threshold@1s alarmed %d times, want 0", got)
+	}
+	if got := alarms("threshold", monitor.GranularityFine); got < 5 {
+		t.Errorf("threshold@50ms alarmed %d times, want many", got)
+	}
+	// Every detector sees more at fine granularity than at coarse.
+	for _, det := range []string{"threshold", "ewma", "cusum"} {
+		coarse := alarms(det, monitor.GranularityUser)
+		fine := alarms(det, monitor.GranularityFine)
+		if fine < coarse {
+			t.Errorf("%s: fine alarms %d below coarse %d", det, fine, coarse)
+		}
+	}
+	requireFiles(t, opts.OutDir, "detector_comparison.csv")
+}

@@ -1,0 +1,86 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"memca/internal/core"
+	"memca/internal/memmodel"
+	"memca/internal/monitor"
+)
+
+// Fig11Result captures Figure 11: OProfile-style LLC-miss monitoring of
+// the MySQL host under the two attack approaches.
+type Fig11Result struct {
+	// SaturationPeriodicity is the autocorrelation of the victim's LLC
+	// misses at the burst interval under bus saturation (visible
+	// pattern).
+	SaturationPeriodicity float64
+	// LockPeriodicity is the same under memory locking (no pattern).
+	LockPeriodicity float64
+	// LockAdversaryMaxMisses is the locking attacker's own peak miss
+	// rate (near zero: invisible to the profiler).
+	LockAdversaryMaxMisses float64
+}
+
+// Fig11 runs the attack twice — bus saturation and memory lock — in the
+// private cloud with 50 ms LLC sampling, and writes the miss-rate series.
+func Fig11(opts Options) (*Fig11Result, error) {
+	const period = 50 * time.Millisecond
+	res := &Fig11Result{}
+
+	run := func(kind memmodel.AttackKind, victimCSV, advCSV string) (victimScore float64, advMax float64, err error) {
+		cfg := core.DefaultConfig()
+		cfg.Seed = opts.Seed
+		cfg.Env = core.EnvPrivateCloud
+		cfg.Duration = opts.duration(time.Minute)
+		cfg.Attack.Kind = kind
+		cfg.LLCSamplePeriod = period
+		x, err := core.NewExperiment(cfg)
+		if err != nil {
+			return 0, 0, fmt.Errorf("figures: fig11 %v: %w", kind, err)
+		}
+		if _, err := x.Run(); err != nil {
+			return 0, 0, fmt.Errorf("figures: fig11 %v run: %w", kind, err)
+		}
+
+		victim := x.LLCVictimSeries().Series()
+		adv := x.LLCAdversarySeries().Series()
+		if err := writeSeries(opts.path(victimCSV), victim); err != nil {
+			return 0, 0, err
+		}
+		if err := writeSeries(opts.path(advCSV), adv); err != nil {
+			return 0, 0, err
+		}
+
+		horizon := cfg.Warmup + cfg.Duration
+		buckets, err := monitor.ToBuckets(victim, period, horizon)
+		if err != nil {
+			return 0, 0, err
+		}
+		// Skip the warmup buckets: the attack starts after warmup.
+		skip := int(cfg.Warmup / period)
+		lag := int(cfg.Attack.Params.Interval / period)
+		score, err := monitor.Periodicity(buckets[skip:], lag)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, p := range adv.Points {
+			if p.V > advMax {
+				advMax = p.V
+			}
+		}
+		return score, advMax, nil
+	}
+
+	var err error
+	res.SaturationPeriodicity, _, err = run(memmodel.AttackBusSaturation, "fig11a_llc_saturation.csv", "fig11a_llc_adversary.csv")
+	if err != nil {
+		return nil, err
+	}
+	res.LockPeriodicity, res.LockAdversaryMaxMisses, err = run(memmodel.AttackMemoryLock, "fig11b_llc_lock.csv", "fig11b_llc_adversary.csv")
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

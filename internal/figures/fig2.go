@@ -1,0 +1,68 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"memca/internal/core"
+)
+
+// Fig2Result captures Figure 2: per-tier percentile response times of the
+// 3-tier system under MemCA, in both cloud environments.
+type Fig2Result struct {
+	// ClientP95 and ClientP98 are the headline damage numbers per
+	// environment.
+	ClientP95 map[string]time.Duration
+	ClientP98 map[string]time.Duration
+	// AmplificationOK reports that the p95 ordering client >= apache >=
+	// tomcat >= mysql held (within a small mix-dilution tolerance).
+	AmplificationOK bool
+}
+
+// Fig2 runs the paper's headline experiment — the 3-minute RUBBoS run
+// under the memory-lock MemCA attack (I = 2 s, L = 500 ms) — in the EC2
+// and private-cloud parameterizations, and writes one percentile-curve CSV
+// per environment.
+func Fig2(opts Options) (*Fig2Result, error) {
+	if err := checkTiersMatch(); err != nil {
+		return nil, err
+	}
+	res := &Fig2Result{
+		ClientP95:       make(map[string]time.Duration),
+		ClientP98:       make(map[string]time.Duration),
+		AmplificationOK: true,
+	}
+	for _, env := range []core.Env{core.EnvEC2, core.EnvPrivateCloud} {
+		cfg := core.DefaultConfig()
+		cfg.Seed = opts.Seed
+		cfg.Env = env
+		cfg.Duration = opts.duration(3 * time.Minute)
+		x, err := core.NewExperiment(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("figures: fig2 %v: %w", env, err)
+		}
+		rep, err := x.Run()
+		if err != nil {
+			return nil, fmt.Errorf("figures: fig2 %v run: %w", env, err)
+		}
+		res.ClientP95[env.String()] = rep.Client.P95
+		res.ClientP98[env.String()] = rep.Client.P98
+
+		curves := map[string][]time.Duration{"client": rep.ClientCurve}
+		order := []string{"client"}
+		for _, t := range rep.Tiers {
+			curves[t.Name] = t.Curve
+			order = append(order, t.Name)
+		}
+		if err := writeCurves(opts.path(fmt.Sprintf("fig2_%s.csv", env)), core.FigurePercentiles, order, curves); err != nil {
+			return nil, err
+		}
+
+		tol := 5 * time.Millisecond
+		apache, tomcat, mysql := rep.Tiers[0].Summary, rep.Tiers[1].Summary, rep.Tiers[2].Summary
+		if mysql.P95 > tomcat.P95+tol || tomcat.P95 > apache.P95+tol || apache.P95 > rep.Client.P95+tol {
+			res.AmplificationOK = false
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,167 @@
+package figures
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"memca/internal/analytical"
+	"memca/internal/attack"
+	"memca/internal/queueing"
+	"memca/internal/sim"
+	"memca/internal/trace"
+)
+
+// fig6Attack is the attack parameterization of the model experiments
+// (Figures 6 and 7): strong degradation, 500 ms bursts every 2 s.
+func fig6Attack() (float64, attack.Params) {
+	return 0.05, attack.Params{Intensity: 1, BurstLength: 500 * time.Millisecond, Interval: 2 * time.Second}
+}
+
+// Fig6Result captures Figure 6: cross-tier queue overflow under MemCA in
+// the paper's system model versus the classic tandem queue.
+type Fig6Result struct {
+	// TandemMySQLMax is the peak MySQL occupancy in the tandem model —
+	// all queued work sits in the last tier.
+	TandemMySQLMax float64
+	// TandemUpstreamMax is the peak occupancy across Apache and Tomcat
+	// in the tandem model (stays near their own service needs).
+	TandemUpstreamMax float64
+	// RPCFilled reports whether every tier's queue hit its limit in the
+	// RPC model (overflow propagated to the front).
+	RPCFilled bool
+	// RPCFillOrder holds the first-full times per tier (apache, tomcat,
+	// mysql) of the RPC model's first burst; back-to-front propagation
+	// means mysql <= tomcat <= apache.
+	RPCFillOrder [3]time.Duration
+}
+
+// Fig6 runs both queueing models under identical ON-OFF attacks and
+// writes per-tier occupancy time lines.
+func Fig6(opts Options) (*Fig6Result, error) {
+	d, params := fig6Attack()
+	horizon := opts.duration(40 * time.Second)
+	res := &Fig6Result{RPCFilled: true}
+	m := analytical.RUBBoS3Tier()
+	limits := [3]int{m.Tiers[0].Queue, m.Tiers[1].Queue, m.Tiers[2].Queue}
+
+	type runResult struct {
+		buckets [][4]float64 // t, apache, tomcat, mysql
+		maxOcc  [3]float64
+		fullAt  [3]time.Duration
+	}
+	run := func(mode queueing.Mode, queueLimits [3]int) (*runResult, error) {
+		e := sim.NewEngine(opts.Seed)
+		n, sources, err := modelNetwork(e, mode, queueLimits)
+		if err != nil {
+			return nil, err
+		}
+		inj, err := attack.NewDirectInjector(n, 2, d)
+		if err != nil {
+			return nil, err
+		}
+		b, err := attack.NewBurster(e, inj, params)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range sources {
+			s.Start()
+		}
+		// Warm up 5 s, then attack.
+		e.Run(5 * time.Second)
+		b.Start()
+		attackStart := e.Now()
+
+		rr := &runResult{}
+		// Track first-full instants with a fine poller.
+		var poll func()
+		poll = func() {
+			for i := 0; i < 3; i++ {
+				st, err := n.TierState(i)
+				if err != nil {
+					return
+				}
+				occ := float64(st.InUse)
+				if occ > rr.maxOcc[i] {
+					rr.maxOcc[i] = occ
+				}
+				if queueLimits[i] != queueing.Infinite && rr.fullAt[i] == 0 && st.InUse >= queueLimits[i] {
+					rr.fullAt[i] = e.Now() - attackStart
+				}
+			}
+			if e.Now() < horizon {
+				e.Schedule(5*time.Millisecond, poll)
+			}
+		}
+		e.Schedule(0, poll)
+		e.Run(horizon)
+		b.Stop()
+		for _, s := range sources {
+			s.Stop()
+		}
+
+		// Export a 8-second window around the first post-warmup bursts
+		// at 20 ms resolution.
+		const width = 20 * time.Millisecond
+		for t := attackStart; t < attackStart+8*time.Second; t += width {
+			row := [4]float64{(t - attackStart).Seconds()}
+			for i := 0; i < 3; i++ {
+				occ, err := n.TierOccupancy(i)
+				if err != nil {
+					return nil, err
+				}
+				row[i+1] = occ.WindowAverage(t, t+width)
+			}
+			rr.buckets = append(rr.buckets, row)
+		}
+		return rr, nil
+	}
+
+	// Tandem baseline: infinite queues, work piles at the bottleneck.
+	tandem, err := run(queueing.ModeTandem, [3]int{queueing.Infinite, queueing.Infinite, queueing.Infinite})
+	if err != nil {
+		return nil, fmt.Errorf("figures: fig6 tandem: %w", err)
+	}
+	res.TandemMySQLMax = tandem.maxOcc[2]
+	res.TandemUpstreamMax = tandem.maxOcc[0]
+	if tandem.maxOcc[1] > res.TandemUpstreamMax {
+		res.TandemUpstreamMax = tandem.maxOcc[1]
+	}
+
+	// The paper's RPC model: finite descending queues, overflow
+	// propagates to the front.
+	rpc, err := run(queueing.ModeNTierRPC, limits)
+	if err != nil {
+		return nil, fmt.Errorf("figures: fig6 rpc: %w", err)
+	}
+	for i := 0; i < 3; i++ {
+		if rpc.fullAt[i] == 0 {
+			res.RPCFilled = false
+		}
+		res.RPCFillOrder[i] = rpc.fullAt[i]
+	}
+
+	writeRun := func(name string, rr *runResult) error {
+		path := opts.path(name)
+		if path == "" {
+			return nil
+		}
+		rows := make([][]string, 0, len(rr.buckets))
+		for _, b := range rr.buckets {
+			rows = append(rows, []string{
+				strconv.FormatFloat(b[0], 'f', 3, 64),
+				strconv.FormatFloat(b[1], 'f', 2, 64),
+				strconv.FormatFloat(b[2], 'f', 2, 64),
+				strconv.FormatFloat(b[3], 'f', 2, 64),
+			})
+		}
+		return trace.WriteCSV(path, []string{"t_s", "apache_q", "tomcat_q", "mysql_q"}, rows)
+	}
+	if err := writeRun("fig6_tandem.csv", tandem); err != nil {
+		return nil, err
+	}
+	if err := writeRun("fig6_rpc.csv", rpc); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

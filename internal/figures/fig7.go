@@ -1,0 +1,128 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"memca/internal/analytical"
+	"memca/internal/attack"
+	"memca/internal/queueing"
+	"memca/internal/sim"
+	"memca/internal/stats"
+)
+
+// fig7Percentiles is the x-axis grid of the Figure 7 tail plots.
+var fig7Percentiles = []float64{50, 60, 70, 75, 80, 85, 90, 92, 94, 95, 96, 97, 98, 99, 99.5, 99.9}
+
+// Fig7Case names the three model variants of Figure 7.
+type Fig7Case string
+
+// Figure 7 cases.
+const (
+	// Fig7Tandem is case (a): tandem queues, infinite MySQL queue —
+	// per-tier percentile curves nearly overlap.
+	Fig7Tandem Fig7Case = "tandem"
+	// Fig7InfiniteFront is case (b): the attack model with an infinite
+	// Apache queue — tails amplify by cross-tier overflow, no drops.
+	Fig7InfiniteFront Fig7Case = "infinite-front"
+	// Fig7Finite is case (c): finite queues everywhere — drops and TCP
+	// retransmissions push the client tail past every tier.
+	Fig7Finite Fig7Case = "finite"
+)
+
+// Fig7CaseResult summarizes one variant.
+type Fig7CaseResult struct {
+	ClientP99 time.Duration
+	MySQLP99  time.Duration
+	// SpreadP99 is client p99 minus mysql p99: the amplification gap.
+	SpreadP99 time.Duration
+	Drops     uint64
+}
+
+// Fig7Result captures Figure 7: tail amplification across the three model
+// variants under the same attack.
+type Fig7Result struct {
+	Cases map[Fig7Case]Fig7CaseResult
+}
+
+// Fig7 runs the three variants and writes one percentile-curve CSV per
+// case.
+func Fig7(opts Options) (*Fig7Result, error) {
+	d, params := fig6Attack()
+	horizon := opts.duration(3 * time.Minute)
+	m := analytical.RUBBoS3Tier()
+	res := &Fig7Result{Cases: make(map[Fig7Case]Fig7CaseResult)}
+
+	variants := []struct {
+		name   Fig7Case
+		mode   queueing.Mode
+		limits [3]int
+	}{
+		{Fig7Tandem, queueing.ModeTandem, [3]int{queueing.Infinite, queueing.Infinite, queueing.Infinite}},
+		{Fig7InfiniteFront, queueing.ModeNTierRPC, [3]int{queueing.Infinite, m.Tiers[1].Queue, m.Tiers[2].Queue}},
+		{Fig7Finite, queueing.ModeNTierRPC, [3]int{m.Tiers[0].Queue, m.Tiers[1].Queue, m.Tiers[2].Queue}},
+	}
+	for _, v := range variants {
+		e := sim.NewEngine(opts.Seed)
+		n, sources, err := modelNetwork(e, v.mode, v.limits)
+		if err != nil {
+			return nil, fmt.Errorf("figures: fig7 %s: %w", v.name, err)
+		}
+		inj, err := attack.NewDirectInjector(n, 2, d)
+		if err != nil {
+			return nil, err
+		}
+		b, err := attack.NewBurster(e, inj, params)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range sources {
+			s.Start()
+		}
+		e.Run(5 * time.Second)
+		n.ResetTierSamples()
+		b.Start()
+		e.Run(5*time.Second + horizon)
+		b.Stop()
+		for _, s := range sources {
+			s.Stop()
+		}
+		if err := e.RunAll(100_000_000); err != nil {
+			return nil, fmt.Errorf("figures: fig7 %s drain: %w", v.name, err)
+		}
+
+		// Client RT: merge the per-source samples (deep class dominates).
+		client := stats.NewSample(4096)
+		for _, s := range sources {
+			for _, rt := range s.ClientRT().Values() {
+				client.Add(rt)
+			}
+		}
+		curves := map[string][]time.Duration{"client": client.PercentileCurve(fig7Percentiles)}
+		order := []string{"client"}
+		for i, name := range rubbosTierNames() {
+			sample, err := n.TierRT(i)
+			if err != nil {
+				return nil, err
+			}
+			curves[name] = sample.PercentileCurve(fig7Percentiles)
+			order = append(order, name)
+		}
+		if err := writeCurves(opts.path(fmt.Sprintf("fig7_%s.csv", v.name)), fig7Percentiles, order, curves); err != nil {
+			return nil, err
+		}
+
+		mysqlSample, err := n.TierRT(2)
+		if err != nil {
+			return nil, err
+		}
+		cr := Fig7CaseResult{
+			ClientP99: client.Percentile(99),
+			MySQLP99:  mysqlSample.Percentile(99),
+			Drops:     n.Drops(),
+		}
+		cr.SpreadP99 = cr.ClientP99 - cr.MySQLP99
+		res.Cases[v.name] = cr
+	}
+	return res, nil
+}

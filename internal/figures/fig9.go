@@ -1,0 +1,128 @@
+package figures
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"memca/internal/core"
+	"memca/internal/stats"
+	"memca/internal/trace"
+)
+
+// Fig9Result captures Figure 9: the 8-second fine-grained (50 ms) snapshot
+// of a MemCA attack in flight — attack bursts, transient MySQL CPU
+// saturation, cross-tier queue propagation, and client response times.
+type Fig9Result struct {
+	// BurstsInWindow counts attack bursts inside the snapshot window.
+	BurstsInWindow int
+	// MySQLSaturated reports that the 50 ms view hit ~100% CPU during
+	// bursts.
+	MySQLSaturated bool
+	// QueuePropagated reports that all three tiers' queues rose during
+	// bursts.
+	QueuePropagated bool
+	// MaxClientRT is the worst client response time in the window.
+	MaxClientRT time.Duration
+}
+
+// Fig9 runs the standard attack with fine-grained recording and exports
+// the four panels over an 8-second window.
+func Fig9(opts Options) (*Fig9Result, error) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = opts.Seed
+	cfg.Duration = opts.duration(time.Minute)
+	cfg.RecordSeries = true
+	x, err := core.NewExperiment(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("figures: fig9: %w", err)
+	}
+	if _, err := x.Run(); err != nil {
+		return nil, fmt.Errorf("figures: fig9 run: %w", err)
+	}
+
+	// Window: 8 seconds starting shortly after measurement begins.
+	start := cfg.Warmup + 4*time.Second
+	end := start + 8*time.Second
+	const width = 50 * time.Millisecond
+	res := &Fig9Result{}
+
+	// Panel (a): adversary VM activity (the attack bursts).
+	adversary := x.Burster().Busy()
+	var panelA []stats.Bucket
+	for t := start; t < end; t += width {
+		u := adversary.Utilization(t, t+width)
+		panelA = append(panelA, stats.Bucket{Start: t - start, Mean: u, Max: u, Min: u, Count: 1})
+	}
+	// Count rising edges for BurstsInWindow.
+	prev := 0.0
+	for _, b := range panelA {
+		if b.Mean > 0.5 && prev <= 0.5 {
+			res.BurstsInWindow++
+		}
+		prev = b.Mean
+	}
+	if err := writeBuckets(opts.path("fig9a_attack_bursts.csv"), panelA); err != nil {
+		return nil, err
+	}
+
+	// Panel (b): MySQL CPU at 50 ms.
+	busy, err := x.Network().TierBusy(2)
+	if err != nil {
+		return nil, err
+	}
+	var panelB []stats.Bucket
+	maxU := 0.0
+	for t := start; t < end; t += width {
+		u := busy.WindowAverage(t, t+width) / 2 // 2 servers
+		if u > maxU {
+			maxU = u
+		}
+		panelB = append(panelB, stats.Bucket{Start: t - start, Mean: u, Max: u, Min: u, Count: 1})
+	}
+	res.MySQLSaturated = maxU > 0.99
+	if err := writeBuckets(opts.path("fig9b_mysql_cpu.csv"), panelB); err != nil {
+		return nil, err
+	}
+
+	// Panel (c): queued requests per tier.
+	rows := make([][]string, 0, int(end-start)/int(width))
+	peaks := [3]float64{}
+	for t := start; t < end; t += width {
+		row := []string{strconv.FormatFloat((t - start).Seconds(), 'f', 3, 64)}
+		for i := 0; i < 3; i++ {
+			occ, err := x.Network().TierOccupancy(i)
+			if err != nil {
+				return nil, err
+			}
+			v := occ.WindowAverage(t, t+width)
+			if v > peaks[i] {
+				peaks[i] = v
+			}
+			row = append(row, strconv.FormatFloat(v, 'f', 2, 64))
+		}
+		rows = append(rows, row)
+	}
+	res.QueuePropagated = peaks[0] > 30 && peaks[1] > 30 && peaks[2] > 20
+	if path := opts.path("fig9c_queues.csv"); path != "" {
+		if err := trace.WriteCSV(path, []string{"t_s", "apache_q", "tomcat_q", "mysql_q"}, rows); err != nil {
+			return nil, err
+		}
+	}
+
+	// Panel (d): client response times in the window.
+	rtSeries := x.Generator().RTSeries()
+	window := stats.NewTimeSeries("client-rt-window")
+	for _, p := range rtSeries.Points {
+		if p.T >= start && p.T < end {
+			window.Add(p.T-start, p.V)
+			if rt := time.Duration(p.V * float64(time.Second)); rt > res.MaxClientRT {
+				res.MaxClientRT = rt
+			}
+		}
+	}
+	if err := writeSeries(opts.path("fig9d_client_rt.csv"), window); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

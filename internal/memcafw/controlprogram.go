@@ -1,0 +1,93 @@
+package memcafw
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ControlProgram is an attack program that drives a victimd-style capacity
+// control endpoint instead of generating real memory contention: during
+// each burst it degrades the target tier to the given degradation index
+// and restores full capacity afterwards. It exists for live end-to-end
+// demos on machines where actual co-located memory contention is
+// unavailable or undesirable — the timing behaviour (ON-OFF bursts, the
+// execution-time report) is identical to the real attack programs.
+type ControlProgram struct {
+	// ControlURL is the tier's control endpoint (".../control/capacity").
+	ControlURL string
+	// D is the degradation index applied during bursts.
+	D      float64
+	client *http.Client
+}
+
+// NewControlProgram validates and builds the program.
+func NewControlProgram(controlURL string, d float64) (*ControlProgram, error) {
+	if controlURL == "" {
+		return nil, fmt.Errorf("memcafw: control URL must not be empty")
+	}
+	if d <= 0 || d >= 1 {
+		return nil, fmt.Errorf("memcafw: degradation index must be in (0,1), got %v", d)
+	}
+	return &ControlProgram{
+		ControlURL: controlURL,
+		D:          d,
+		client:     &http.Client{Timeout: 2 * time.Second},
+	}, nil
+}
+
+// Name implements AttackProgram.
+func (p *ControlProgram) Name() string { return "capacity-control" }
+
+// Execute implements AttackProgram: degrade, hold for the burst length,
+// restore. Intensity scales the degradation depth (intensity 1 applies D
+// fully; lower intensities interpolate toward no degradation).
+func (p *ControlProgram) Execute(ctx context.Context, intensity float64, length time.Duration) (ExecResult, error) {
+	if intensity <= 0 || intensity > 1 {
+		return ExecResult{}, fmt.Errorf("memcafw: intensity %v out of (0,1]", intensity)
+	}
+	if length <= 0 {
+		return ExecResult{}, fmt.Errorf("memcafw: burst length must be positive, got %v", length)
+	}
+	d := 1 - intensity*(1-p.D)
+	start := time.Now()
+	if err := p.set(ctx, d); err != nil {
+		return ExecResult{}, err
+	}
+	// Always restore, even on cancellation: interference must not
+	// outlive the burst.
+	defer func() {
+		restoreCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = p.set(restoreCtx, 1)
+	}()
+	select {
+	case <-ctx.Done():
+		return ExecResult{}, ctx.Err()
+	case <-time.After(length):
+	}
+	return ExecResult{Elapsed: time.Since(start), ResourceShare: intensity}, nil
+}
+
+func (p *ControlProgram) set(ctx context.Context, m float64) error {
+	url := fmt.Sprintf("%s?multiplier=%g", p.ControlURL, m)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return fmt.Errorf("memcafw: building control request: %w", err)
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("memcafw: control endpoint: %w", err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		return fmt.Errorf("memcafw: closing control response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("memcafw: control endpoint returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Verify interface compliance.
+var _ AttackProgram = (*ControlProgram)(nil)

@@ -1,0 +1,141 @@
+package memcafw
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// controlServer is a minimal stand-in for victimd's capacity endpoint.
+func controlServer(t *testing.T) (*httptest.Server, *atomic.Value) {
+	t.Helper()
+	var current atomic.Value
+	current.Store(1.0)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m, err := strconv.ParseFloat(r.URL.Query().Get("multiplier"), 64)
+		if err != nil || m <= 0 || m > 1 {
+			http.Error(w, "bad multiplier", http.StatusBadRequest)
+			return
+		}
+		current.Store(m)
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &current
+}
+
+func TestNewControlProgramValidation(t *testing.T) {
+	if _, err := NewControlProgram("", 0.1); err == nil {
+		t.Error("empty URL accepted")
+	}
+	if _, err := NewControlProgram("http://x/", 0); err == nil {
+		t.Error("zero D accepted")
+	}
+	if _, err := NewControlProgram("http://x/", 1); err == nil {
+		t.Error("D=1 accepted")
+	}
+}
+
+func TestControlProgramDegradesAndRestores(t *testing.T) {
+	srv, current := controlServer(t)
+	p, err := NewControlProgram(srv.URL, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "capacity-control" {
+		t.Errorf("Name = %q", p.Name())
+	}
+
+	done := make(chan ExecResult, 1)
+	go func() {
+		res, err := p.Execute(context.Background(), 1, 100*time.Millisecond)
+		if err != nil {
+			t.Errorf("Execute: %v", err)
+		}
+		done <- res
+	}()
+	// Mid-burst the multiplier must be degraded.
+	time.Sleep(30 * time.Millisecond)
+	if got := current.Load().(float64); got < 0.049 || got > 0.051 {
+		t.Errorf("mid-burst multiplier = %v, want ~0.05", got)
+	}
+	res := <-done
+	if res.Elapsed < 100*time.Millisecond {
+		t.Errorf("elapsed %v below burst length", res.Elapsed)
+	}
+	// After the burst capacity must be restored.
+	deadline := time.Now().Add(time.Second)
+	for current.Load().(float64) != 1.0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("capacity never restored: %v", current.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestControlProgramIntensityInterpolates(t *testing.T) {
+	srv, current := controlServer(t)
+	p, err := NewControlProgram(srv.URL, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := p.Execute(context.Background(), 0.5, 60*time.Millisecond); err != nil {
+			t.Errorf("Execute: %v", err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// d = 1 - 0.5*(1-0.2) = 0.6.
+	if got := current.Load().(float64); got < 0.59 || got > 0.61 {
+		t.Errorf("interpolated multiplier = %v, want 0.6", got)
+	}
+	<-done
+}
+
+func TestControlProgramRestoresOnCancel(t *testing.T) {
+	srv, current := controlServer(t)
+	p, err := NewControlProgram(srv.URL, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Execute(ctx, 1, time.Hour)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	if err := <-done; err == nil {
+		t.Error("canceled execute returned no error")
+	}
+	deadline := time.Now().Add(time.Second)
+	for current.Load().(float64) != 1.0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interference outlived cancellation")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestControlProgramBadEndpoint(t *testing.T) {
+	p, err := NewControlProgram("http://127.0.0.1:1/control", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(context.Background(), 1, 10*time.Millisecond); err == nil {
+		t.Error("dead endpoint accepted")
+	}
+	if _, err := p.Execute(context.Background(), 0, 10*time.Millisecond); err == nil {
+		t.Error("zero intensity accepted")
+	}
+	if _, err := p.Execute(context.Background(), 1, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+}

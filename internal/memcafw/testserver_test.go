@@ -1,0 +1,39 @@
+package memcafw
+
+import (
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// newSlowServer starts an HTTP server whose root handler sleeps for delay
+// before answering, and returns its base URL. The server is torn down with
+// the test.
+func newSlowServer(t *testing.T, delay time.Duration) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(delay)
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write([]byte("ok")); err != nil {
+			t.Logf("slow server write: %v", err)
+		}
+	})
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			t.Errorf("slow server: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Logf("closing slow server: %v", err)
+		}
+	})
+	return "http://" + ln.Addr().String() + "/"
+}

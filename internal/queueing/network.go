@@ -1,0 +1,287 @@
+package queueing
+
+import (
+	"fmt"
+	"time"
+
+	"memca/internal/sim"
+	"memca/internal/stats"
+)
+
+// Network is an n-tier queueing system bound to a simulation engine. It is
+// single-threaded: all methods must run on the simulator goroutine (inside
+// engine callbacks or between engine runs).
+type Network struct {
+	engine *sim.Engine
+	cfg    Config
+	tiers  []*tier
+
+	nextID    uint64
+	drops     uint64
+	completed uint64
+	inFlight  int
+}
+
+// New builds a network from the configuration.
+func New(engine *sim.Engine, cfg Config) (*Network, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("queueing: engine must not be nil")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{engine: engine, cfg: cfg}
+	n.tiers = make([]*tier, len(cfg.Tiers))
+	for i, tc := range cfg.Tiers {
+		n.tiers[i] = newTier(tc, i, n)
+	}
+	return n, nil
+}
+
+// Engine returns the bound simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// NumTiers returns the number of tiers.
+func (n *Network) NumTiers() int { return len(n.tiers) }
+
+// NumClasses returns the number of configured request classes.
+func (n *Network) NumClasses() int { return len(n.cfg.Classes) }
+
+// SubmitOpts parameterizes one request submission.
+type SubmitOpts struct {
+	// Class indexes Config.Classes.
+	Class int
+	// FirstAttempt is the client's original send time; zero means "now".
+	FirstAttempt time.Duration
+	// Attempt is the retransmission count (0 = first).
+	Attempt int
+	// UserData is carried on the request.
+	UserData any
+	// OnComplete fires when the response reaches the client.
+	OnComplete func(*Request)
+	// OnDrop fires when the front tier rejects the request.
+	OnDrop func(*Request)
+}
+
+// Submit injects a request at the front tier. The drop decision is made
+// synchronously: a request rejected by a full front tier has its OnDrop
+// callback invoked before Submit returns.
+func (n *Network) Submit(opts SubmitOpts) (*Request, error) {
+	if opts.Class < 0 || opts.Class >= len(n.cfg.Classes) {
+		return nil, fmt.Errorf("queueing: class %d out of range [0,%d)", opts.Class, len(n.cfg.Classes))
+	}
+	now := n.engine.Now()
+	first := opts.FirstAttempt
+	if first == 0 {
+		first = now
+	}
+	depth := n.cfg.Classes[opts.Class].Depth
+	req := &Request{
+		ID:           n.nextID,
+		Class:        opts.Class,
+		FirstAttempt: first,
+		Submit:       now,
+		Attempt:      opts.Attempt,
+		TierArrive:   make([]time.Duration, depth+1),
+		TierLeave:    make([]time.Duration, depth+1),
+		UserData:     opts.UserData,
+		onComplete:   opts.OnComplete,
+		onDrop:       opts.OnDrop,
+	}
+	n.nextID++
+	n.inFlight++
+	n.tiers[0].requestSlot(req)
+	return req, nil
+}
+
+// advance moves a request that finished service at tier i: deeper if the
+// class descends further, otherwise back to the client.
+func (n *Network) advance(req *Request, i int) {
+	depth := n.cfg.Classes[req.Class].Depth
+	if i < depth {
+		req.curTier = i + 1
+		n.afterHop(func() { n.tiers[i+1].requestSlot(req) })
+		return
+	}
+	// Deepest tier done: in RPC mode the response releases every held
+	// slot from the back to the front; in tandem mode tiers were already
+	// released one by one. The held slots free immediately (the threads
+	// unblock as the response passes); only the client-delivery hop is
+	// delayed.
+	if n.cfg.Mode == ModeNTierRPC {
+		for j := i; j >= 0; j-- {
+			n.tiers[j].respond(req)
+		}
+	}
+	n.afterHop(func() {
+		req.Done = n.engine.Now()
+		n.completed++
+		n.inFlight--
+		if req.onComplete != nil {
+			req.onComplete(req)
+		}
+		if n.cfg.OnComplete != nil {
+			n.cfg.OnComplete(req)
+		}
+	})
+}
+
+// afterHop runs fn now, or after one network-hop delay when configured.
+func (n *Network) afterHop(fn func()) {
+	if n.cfg.HopDelay == nil {
+		fn()
+		return
+	}
+	n.engine.Schedule(n.cfg.HopDelay.Sample(n.engine.Rand()), fn)
+}
+
+// notifyDrop records and dispatches a front-tier rejection.
+func (n *Network) notifyDrop(req *Request) {
+	n.inFlight--
+	if req.onDrop != nil {
+		req.onDrop(req)
+	}
+	if n.cfg.OnDrop != nil {
+		n.cfg.OnDrop(req)
+	}
+}
+
+// SetCapacityMultiplier scales tier i's service rate: 1 is full capacity
+// C_OFF, the MemCA ON-burst sets the victim tier to the degradation index
+// D so that C_ON = D * C_OFF. In-flight work is preserved (fluid model).
+func (n *Network) SetCapacityMultiplier(i int, mult float64) error {
+	if i < 0 || i >= len(n.tiers) {
+		return fmt.Errorf("queueing: tier %d out of range [0,%d)", i, len(n.tiers))
+	}
+	n.tiers[i].setMultiplier(mult)
+	return nil
+}
+
+// CapacityMultiplier returns tier i's current multiplier.
+func (n *Network) CapacityMultiplier(i int) (float64, error) {
+	if i < 0 || i >= len(n.tiers) {
+		return 0, fmt.Errorf("queueing: tier %d out of range [0,%d)", i, len(n.tiers))
+	}
+	return n.tiers[i].mult, nil
+}
+
+// SetCapacityScale sets tier i's elastic-scaling factor: the tier's
+// aggregate service rate becomes scale * multiplier * C_OFF. An auto
+// scaler growing a fleet from 1 to k instances sets scale = k.
+func (n *Network) SetCapacityScale(i int, scale float64) error {
+	if i < 0 || i >= len(n.tiers) {
+		return fmt.Errorf("queueing: tier %d out of range [0,%d)", i, len(n.tiers))
+	}
+	n.tiers[i].setScale(scale)
+	return nil
+}
+
+// CapacityScale returns tier i's current elastic-scaling factor.
+func (n *Network) CapacityScale(i int) (float64, error) {
+	if i < 0 || i >= len(n.tiers) {
+		return 0, fmt.Errorf("queueing: tier %d out of range [0,%d)", i, len(n.tiers))
+	}
+	return n.tiers[i].scale, nil
+}
+
+// ResetTierSamples discards the accumulated per-tier response-time
+// samples (e.g. after a warm-up phase). Level integrators keep their full
+// history since utilization queries are windowed.
+func (n *Network) ResetTierSamples() {
+	for _, t := range n.tiers {
+		t.rt = stats.NewSample(1024)
+	}
+}
+
+// Drops returns the number of requests rejected so far.
+func (n *Network) Drops() uint64 { return n.drops }
+
+// Completed returns the number of requests that finished.
+func (n *Network) Completed() uint64 { return n.completed }
+
+// InFlight returns the number of requests currently inside the network.
+func (n *Network) InFlight() int { return n.inFlight }
+
+// TierSnapshot is a read-only view of one tier's state and metrics.
+type TierSnapshot struct {
+	Name string
+	// InUse is the current number of held concurrency slots.
+	InUse int
+	// Backlog is the number of requests blocked in front of the tier.
+	Backlog int
+	// BusyStations is the number of stations serving right now.
+	BusyStations int
+	// Completions counts responses the tier has returned.
+	Completions uint64
+	// Drops counts rejections at this tier (front tier, or interior
+	// tiers in tandem mode).
+	Drops uint64
+}
+
+// TierState returns a snapshot of tier i.
+func (n *Network) TierState(i int) (TierSnapshot, error) {
+	if i < 0 || i >= len(n.tiers) {
+		return TierSnapshot{}, fmt.Errorf("queueing: tier %d out of range [0,%d)", i, len(n.tiers))
+	}
+	t := n.tiers[i]
+	return TierSnapshot{
+		Name:         t.cfg.Name,
+		InUse:        t.inUse,
+		Backlog:      len(t.pendingAdmit),
+		BusyStations: t.busyStations,
+		Completions:  t.completions,
+		Drops:        t.drops,
+	}, nil
+}
+
+// TierRT returns the response-time sample of tier i (shared, do not
+// mutate).
+func (n *Network) TierRT(i int) (*stats.Sample, error) {
+	if i < 0 || i >= len(n.tiers) {
+		return nil, fmt.Errorf("queueing: tier %d out of range [0,%d)", i, len(n.tiers))
+	}
+	return n.tiers[i].rt, nil
+}
+
+// TierOccupancy returns the exact slots-in-use level integrator of tier i.
+func (n *Network) TierOccupancy(i int) (*stats.LevelIntegrator, error) {
+	if i < 0 || i >= len(n.tiers) {
+		return nil, fmt.Errorf("queueing: tier %d out of range [0,%d)", i, len(n.tiers))
+	}
+	return n.tiers[i].occupancy, nil
+}
+
+// TierBacklog returns the blocked-in-front level integrator of tier i.
+func (n *Network) TierBacklog(i int) (*stats.LevelIntegrator, error) {
+	if i < 0 || i >= len(n.tiers) {
+		return nil, fmt.Errorf("queueing: tier %d out of range [0,%d)", i, len(n.tiers))
+	}
+	return n.tiers[i].backlog, nil
+}
+
+// TierBusy returns the busy-stations level integrator of tier i; dividing
+// its window averages by Servers yields CPU utilization, the signal the
+// monitoring experiments sample at different granularities.
+func (n *Network) TierBusy(i int) (*stats.LevelIntegrator, error) {
+	if i < 0 || i >= len(n.tiers) {
+		return nil, fmt.Errorf("queueing: tier %d out of range [0,%d)", i, len(n.tiers))
+	}
+	return n.tiers[i].busy, nil
+}
+
+// TierUtilization returns tier i's CPU utilization over [from, to).
+func (n *Network) TierUtilization(i int, from, to time.Duration) (float64, error) {
+	if i < 0 || i >= len(n.tiers) {
+		return 0, fmt.Errorf("queueing: tier %d out of range [0,%d)", i, len(n.tiers))
+	}
+	t := n.tiers[i]
+	return t.busy.WindowAverage(from, to) / float64(t.cfg.Servers), nil
+}
+
+// TierName returns tier i's configured name.
+func (n *Network) TierName(i int) (string, error) {
+	if i < 0 || i >= len(n.tiers) {
+		return "", fmt.Errorf("queueing: tier %d out of range [0,%d)", i, len(n.tiers))
+	}
+	return n.tiers[i].cfg.Name, nil
+}

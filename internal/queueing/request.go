@@ -1,0 +1,54 @@
+package queueing
+
+import "time"
+
+// Request is one client request traveling through the tier chain. Fields
+// are written by the network; callers read them from callbacks.
+type Request struct {
+	// ID is unique per network, in submission order.
+	ID uint64
+	// Class indexes Config.Classes.
+	Class int
+	// FirstAttempt is when the client first sent the request, across
+	// retransmissions; client response time is measured from it.
+	FirstAttempt time.Duration
+	// Submit is when this attempt entered the network.
+	Submit time.Duration
+	// Attempt counts retransmissions (0 = first attempt).
+	Attempt int
+	// Done is when the response reached the client (zero until then).
+	Done time.Duration
+	// Dropped reports that this attempt was rejected by the full front
+	// tier.
+	Dropped bool
+	// TierArrive[i] is when the request was admitted into tier i. Time
+	// spent blocked in front of a full tier i is charged to the upstream
+	// tiers (where the request physically waits, holding their threads),
+	// mirroring how per-tier latency is measured in real deployments.
+	TierArrive []time.Duration
+	// TierLeave[i] is when the response left tier i on the way back.
+	TierLeave []time.Duration
+	// UserData carries caller context (e.g. the emulated client).
+	UserData any
+
+	onComplete func(*Request)
+	onDrop     func(*Request)
+	curTier    int
+}
+
+// ClientRT returns the response time the end user perceives: completion
+// minus first attempt, spanning retransmissions.
+func (r *Request) ClientRT() time.Duration { return r.Done - r.FirstAttempt }
+
+// TierRT returns the response time observed at tier i: from the moment the
+// request was handed to the tier until its response left it. It returns 0
+// for tiers the request never reached.
+func (r *Request) TierRT(i int) time.Duration {
+	if i < 0 || i >= len(r.TierArrive) || r.TierLeave[i] == 0 {
+		return 0
+	}
+	return r.TierLeave[i] - r.TierArrive[i]
+}
+
+// Depth returns the deepest tier index this request visits.
+func (r *Request) Depth() int { return len(r.TierArrive) - 1 }

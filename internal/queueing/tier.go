@@ -1,0 +1,245 @@
+package queueing
+
+import (
+	"time"
+
+	"memca/internal/sim"
+	"memca/internal/stats"
+)
+
+// serviceRun tracks one request being served by a station, with the fluid
+// remaining-work bookkeeping that lets the network retarget completion
+// times when the tier's capacity multiplier changes mid-service.
+type serviceRun struct {
+	req *Request
+	// remaining is the work left, in seconds of service at full rate.
+	remaining float64
+	// lastUpdate is the last time remaining was reconciled.
+	lastUpdate time.Duration
+	ev         *sim.Event
+}
+
+// tier is one stage of the network. All mutation happens on the simulator
+// goroutine.
+type tier struct {
+	cfg TierConfig
+	idx int
+	net *Network
+
+	// mult is the current capacity multiplier: work drains at mult*scale
+	// work-seconds per second. 1 = full capacity; the MemCA burst sets
+	// the victim tier below 1 (C_ON = D * C_OFF).
+	mult float64
+	// scale is the elastic-scaling factor (instances relative to the
+	// initial fleet); it composes multiplicatively with mult so an
+	// attack and a scale-out can coexist.
+	scale float64
+
+	inUse          int // admitted slots (held until response in RPC mode)
+	waitingService []*Request
+	pendingAdmit   []*Request
+	inService      map[*Request]*serviceRun
+	busyStations   int
+
+	occupancy *stats.LevelIntegrator // slots in use over time
+	backlog   *stats.LevelIntegrator // requests blocked in front of the tier
+	busy      *stats.LevelIntegrator // busy stations over time
+	rt        *stats.Sample          // per-request tier response times
+
+	completions uint64
+	drops       uint64 // tandem-mode drops at this tier
+}
+
+func newTier(cfg TierConfig, idx int, net *Network) *tier {
+	return &tier{
+		cfg:       cfg,
+		idx:       idx,
+		net:       net,
+		mult:      1,
+		scale:     1,
+		inService: make(map[*Request]*serviceRun),
+		occupancy: stats.NewLevelIntegrator(),
+		backlog:   stats.NewLevelIntegrator(),
+		busy:      stats.NewLevelIntegrator(),
+		rt:        stats.NewSample(1024),
+	}
+}
+
+func (t *tier) now() time.Duration { return t.net.engine.Now() }
+
+func (t *tier) full() bool {
+	return t.cfg.QueueLimit != Infinite && t.inUse >= t.cfg.QueueLimit
+}
+
+// requestSlot is the entry point into the tier. TierArrive is stamped at
+// admission (see admit): a request blocked in front of a full tier is
+// still *inside* the upstream tier — holding its thread while waiting for
+// a downstream connection — so the wait counts toward upstream latency,
+// which is exactly how the paper's per-tier response times amplify from
+// the back tier to the front.
+func (t *tier) requestSlot(req *Request) {
+	if !t.full() {
+		t.admit(req)
+		return
+	}
+	if t.idx == 0 {
+		// The front tier sheds load: the connection is refused and the
+		// client's TCP stack will retransmit after its RTO.
+		t.drops++
+		req.Dropped = true
+		t.net.drops++
+		t.net.notifyDrop(req)
+		return
+	}
+	if t.net.cfg.Mode == ModeTandem {
+		// Independent tiers have no upstream to hold the request; a
+		// finite interior queue in tandem mode is a loss queue.
+		t.drops++
+		req.Dropped = true
+		t.net.drops++
+		t.net.notifyDrop(req)
+		return
+	}
+	// RPC mode: the request blocks here, still holding its slots in
+	// every upstream tier — this is the cross-tier back-pressure that
+	// propagates queue overflow toward the front.
+	t.pendingAdmit = append(t.pendingAdmit, req)
+	t.backlog.Set(t.now(), float64(len(t.pendingAdmit)))
+}
+
+func (t *tier) admit(req *Request) {
+	req.TierArrive[t.idx] = t.now()
+	t.inUse++
+	t.occupancy.Set(t.now(), float64(t.inUse))
+	if t.busyStations < t.cfg.Servers {
+		t.startService(req)
+		return
+	}
+	t.waitingService = append(t.waitingService, req)
+}
+
+func (t *tier) startService(req *Request) {
+	t.busyStations++
+	t.busy.Set(t.now(), float64(t.busyStations))
+	base := t.cfg.Service.Sample(t.net.engine.Rand())
+	scale := 1.0
+	class := t.net.cfg.Classes[req.Class]
+	if class.DemandScale != nil {
+		scale = class.DemandScale[t.idx]
+	}
+	run := &serviceRun{
+		req:        req,
+		remaining:  base.Seconds() * scale,
+		lastUpdate: t.now(),
+	}
+	t.inService[req] = run
+	t.scheduleCompletion(run)
+}
+
+// rate returns the tier's current drain rate in work-seconds per second.
+func (t *tier) rate() float64 { return t.mult * t.scale }
+
+// scheduleCompletion (re)schedules the completion event for run based on
+// its remaining work and the tier's current rate.
+func (t *tier) scheduleCompletion(run *serviceRun) {
+	if run.ev != nil {
+		run.ev.Cancel()
+		run.ev = nil
+	}
+	r := t.rate()
+	if r <= 0 {
+		return // fully stalled; rescheduled when capacity returns
+	}
+	delay := time.Duration(run.remaining / r * float64(time.Second))
+	run.ev = t.net.engine.Schedule(delay, func() { t.serviceDone(run) })
+}
+
+// reconcile books the work done at the old rate into every in-flight
+// service and reschedules completions at the new rate (fluid model).
+func (t *tier) reconcile(apply func()) {
+	now := t.now()
+	oldRate := t.rate()
+	for _, run := range t.inService {
+		elapsed := (now - run.lastUpdate).Seconds()
+		run.remaining -= elapsed * oldRate
+		if run.remaining < 0 {
+			run.remaining = 0
+		}
+		run.lastUpdate = now
+	}
+	apply()
+	for _, run := range t.inService {
+		t.scheduleCompletion(run)
+	}
+}
+
+// setMultiplier changes the tier's capacity multiplier, preserving
+// in-flight work.
+func (t *tier) setMultiplier(m float64) {
+	if m < 0 {
+		m = 0
+	}
+	if m == t.mult {
+		return
+	}
+	t.reconcile(func() { t.mult = m })
+}
+
+// setScale changes the tier's elastic-scaling factor, preserving in-flight
+// work.
+func (t *tier) setScale(s float64) {
+	if s < 0 {
+		s = 0
+	}
+	if s == t.scale {
+		return
+	}
+	t.reconcile(func() { t.scale = s })
+}
+
+func (t *tier) serviceDone(run *serviceRun) {
+	req := run.req
+	delete(t.inService, req)
+	t.busyStations--
+	t.busy.Set(t.now(), float64(t.busyStations))
+	if len(t.waitingService) > 0 {
+		next := t.waitingService[0]
+		t.waitingService = t.waitingService[1:]
+		t.startService(next)
+	}
+
+	if t.net.cfg.Mode == ModeTandem {
+		// Independent tiers: leave this one entirely, then move on.
+		req.TierLeave[t.idx] = t.now()
+		t.rt.Add(req.TierRT(t.idx))
+		t.completions++
+		t.releaseSlot()
+		t.net.advance(req, t.idx)
+		return
+	}
+	// RPC mode: keep the slot; descend or respond.
+	t.net.advance(req, t.idx)
+}
+
+// respond is called in RPC mode when the request's deepest tier finished:
+// the response propagates back through this tier instantly, releasing its
+// slot.
+func (t *tier) respond(req *Request) {
+	req.TierLeave[t.idx] = t.now()
+	t.rt.Add(req.TierRT(t.idx))
+	t.completions++
+	t.releaseSlot()
+}
+
+// releaseSlot frees one concurrency slot and, in RPC mode, admits the head
+// of the blocked backlog if any.
+func (t *tier) releaseSlot() {
+	t.inUse--
+	t.occupancy.Set(t.now(), float64(t.inUse))
+	if len(t.pendingAdmit) > 0 && !t.full() {
+		next := t.pendingAdmit[0]
+		t.pendingAdmit = t.pendingAdmit[1:]
+		t.backlog.Set(t.now(), float64(len(t.pendingAdmit)))
+		t.admit(next)
+	}
+}

@@ -1,0 +1,177 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, an event heap, cancellable timers, and the probability
+// distributions used by the MemCA queueing and contention models.
+//
+// All randomness flows through an injected *rand.Rand so that every
+// experiment is reproducible from a seed, and the engine never consults
+// wall-clock time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. The zero value is not useful; events are
+// created by Engine.Schedule and friends. An Event handle may be used to
+// cancel the callback before it fires.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Time reports the virtual time at which the event fires (or would have
+// fired, if canceled).
+func (ev *Event) Time() time.Duration { return ev.at }
+
+// Cancel prevents the event's callback from running. Canceling an event
+// that already fired or was already canceled is a no-op.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+// Canceled reports whether Cancel was called on the event.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+// eventHeap is a min-heap ordered by (at, seq) so that simultaneous events
+// fire in scheduling order (deterministic FIFO tie-break).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; a simulation runs on one goroutine and models concurrency
+// through events, which is both faster and fully deterministic.
+type Engine struct {
+	now  time.Duration
+	heap eventHeap
+	seq  uint64
+	rng  *rand.Rand
+
+	// processed counts events fired since construction; useful for
+	// progress accounting and loop-guard tests.
+	processed uint64
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewEngineWithRand returns an engine using the provided random source.
+// The engine takes ownership of rng; callers must not share it.
+func NewEngineWithRand(rng *rand.Rand) *Engine {
+	return &Engine{rng: rng}
+}
+
+// Now returns the current virtual time (time since simulation start).
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's random source. Model components should draw all
+// randomness from it to preserve reproducibility.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Pending returns the number of events still queued (including canceled
+// events not yet discarded).
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Processed returns the number of events fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Schedule queues fn to run after delay. A negative delay is treated as
+// zero (fire at the current time, after already-queued events at that time).
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At queues fn to run at absolute virtual time t. Scheduling in the past is
+// clamped to the present.
+func (e *Engine) At(t time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return ev
+}
+
+// Step fires the next event, advancing the clock to its timestamp. It
+// returns false when no runnable event remains.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the clock would pass until, then sets the clock to
+// exactly until. Events scheduled at until are fired.
+func (e *Engine) Run(until time.Duration) {
+	for len(e.heap) > 0 && e.heap[0].at <= until {
+		if !e.Step() {
+			break
+		}
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll fires every queued event. It guards against runaway simulations
+// with maxEvents; a zero maxEvents means no limit.
+func (e *Engine) RunAll(maxEvents uint64) error {
+	fired := uint64(0)
+	for e.Step() {
+		fired++
+		if maxEvents > 0 && fired > maxEvents {
+			return fmt.Errorf("sim: exceeded %d events at t=%v", maxEvents, e.now)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Histogram is a log-spaced latency histogram: bucket i covers
+// [base*growth^i, base*growth^(i+1)). Log spacing keeps relative error
+// bounded across the microsecond-to-multi-second range that tail
+// amplification spans.
+type Histogram struct {
+	base    float64 // seconds, lower bound of bucket 0
+	growth  float64
+	counts  []uint64
+	under   uint64 // observations below base
+	total   uint64
+	sumSecs float64
+}
+
+// NewHistogram returns a histogram starting at base with the given bucket
+// growth factor and bucket count.
+func NewHistogram(base time.Duration, growth float64, buckets int) (*Histogram, error) {
+	if base <= 0 {
+		return nil, fmt.Errorf("stats: histogram base must be positive, got %v", base)
+	}
+	if growth <= 1 {
+		return nil, fmt.Errorf("stats: histogram growth must exceed 1, got %v", growth)
+	}
+	if buckets <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bucket, got %d", buckets)
+	}
+	return &Histogram{base: base.Seconds(), growth: growth, counts: make([]uint64, buckets)}, nil
+}
+
+// NewLatencyHistogram returns a histogram tuned for response times: 100 µs
+// base, 10% growth, covering past 100 s.
+func NewLatencyHistogram() *Histogram {
+	h, err := NewHistogram(100*time.Microsecond, 1.1, 150)
+	if err != nil {
+		// The fixed arguments above are valid; reaching here is a bug.
+		panic(err)
+	}
+	return h
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v time.Duration) {
+	h.total++
+	h.sumSecs += v.Seconds()
+	s := v.Seconds()
+	if s < h.base {
+		h.under++
+		return
+	}
+	i := int(math.Log(s/h.base) / math.Log(h.growth))
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the exact mean of all observations (tracked outside the
+// buckets, so it has no quantization error).
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sumSecs / float64(h.total) * float64(time.Second))
+}
+
+// BucketBounds returns the [lo, hi) bounds of bucket i.
+func (h *Histogram) BucketBounds(i int) (lo, hi time.Duration) {
+	loS := h.base * math.Pow(h.growth, float64(i))
+	hiS := loS * h.growth
+	return time.Duration(loS * float64(time.Second)), time.Duration(hiS * float64(time.Second))
+}
+
+// Quantile estimates the q-quantile from the buckets, interpolating within
+// the chosen bucket. Accuracy is bounded by the growth factor.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.total)
+	cum := float64(h.under)
+	if cum >= target && h.under > 0 {
+		return time.Duration(h.base * float64(time.Second))
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lo, hi := h.BucketBounds(i)
+			frac := 0.5
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+			}
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	lo, _ := h.BucketBounds(len(h.counts) - 1)
+	return lo
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// LevelIntegrator tracks a piecewise-constant integer level over time (e.g.
+// busy server stations, queue occupancy) and integrates it exactly. It
+// generalizes BusyIntegrator to levels above 1.
+type LevelIntegrator struct {
+	transitions []Point
+	level       float64
+	lastChange  time.Duration
+	integral    float64 // level-seconds
+}
+
+// NewLevelIntegrator returns an integrator at level 0 at time 0.
+func NewLevelIntegrator() *LevelIntegrator {
+	return &LevelIntegrator{}
+}
+
+// Set records the level at time t. Times must be non-decreasing; setting
+// the same level again is a no-op.
+func (li *LevelIntegrator) Set(t time.Duration, level float64) {
+	if level == li.level {
+		return
+	}
+	li.integral += li.level * (t - li.lastChange).Seconds()
+	li.level = level
+	li.lastChange = t
+	li.transitions = append(li.transitions, Point{T: t, V: level})
+}
+
+// Add shifts the level by delta at time t.
+func (li *LevelIntegrator) Add(t time.Duration, delta float64) {
+	li.Set(t, li.level+delta)
+}
+
+// Level returns the current level.
+func (li *LevelIntegrator) Level() float64 { return li.level }
+
+// Integral returns the accumulated level-seconds up to time t.
+func (li *LevelIntegrator) Integral(t time.Duration) float64 {
+	total := li.integral
+	if t > li.lastChange {
+		total += li.level * (t - li.lastChange).Seconds()
+	}
+	return total
+}
+
+// WindowAverage returns the time-weighted mean level over [from, to).
+func (li *LevelIntegrator) WindowAverage(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	var acc float64
+	level := 0.0
+	since := time.Duration(0)
+	for _, tr := range li.transitions {
+		if tr.T >= to {
+			break
+		}
+		if tr.T > from {
+			start := since
+			if start < from {
+				start = from
+			}
+			acc += level * (tr.T - start).Seconds()
+		}
+		level = tr.V
+		since = tr.T
+	}
+	start := since
+	if start < from {
+		start = from
+	}
+	if to > start {
+		acc += level * (to - start).Seconds()
+	}
+	return acc / (to - from).Seconds()
+}
+
+// AverageSeries resamples the window-averaged level into fixed-width
+// buckets over [0, horizon).
+func (li *LevelIntegrator) AverageSeries(width, horizon time.Duration) ([]Bucket, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("stats: level window must be positive, got %v", width)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("stats: level horizon must be positive, got %v", horizon)
+	}
+	n := int((horizon + width - 1) / width)
+	out := make([]Bucket, 0, n)
+	for i := 0; i < n; i++ {
+		from := time.Duration(i) * width
+		to := from + width
+		if to > horizon {
+			to = horizon
+		}
+		v := li.WindowAverage(from, to)
+		out = append(out, Bucket{Start: from, Mean: v, Max: v, Min: v, Count: 1})
+	}
+	return out, nil
+}
+
+// Transitions returns the recorded level changes. The slice is shared;
+// callers must not modify it.
+func (li *LevelIntegrator) Transitions() []Point { return li.transitions }
+
+// MaxLevel returns the highest level ever set (0 if never changed).
+func (li *LevelIntegrator) MaxLevel() float64 {
+	max := 0.0
+	for _, tr := range li.transitions {
+		if tr.V > max {
+			max = tr.V
+		}
+	}
+	return max
+}

@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLevelIntegratorBasics(t *testing.T) {
+	li := NewLevelIntegrator()
+	if li.Level() != 0 {
+		t.Fatal("new integrator not at level 0")
+	}
+	li.Set(time.Second, 2)
+	li.Add(2*time.Second, 3)  // level 5
+	li.Add(3*time.Second, -5) // level 0
+	if li.Level() != 0 {
+		t.Errorf("Level = %v, want 0", li.Level())
+	}
+	// Integral: 0*1 + 2*1 + 5*1 = 7 level-seconds by t=3.
+	if got := li.Integral(3 * time.Second); got != 7 {
+		t.Errorf("Integral(3s) = %v, want 7", got)
+	}
+	// Open level extends: set level 4 at t=4, ask at t=6.
+	li.Set(4*time.Second, 4)
+	if got := li.Integral(6 * time.Second); got != 7+8 {
+		t.Errorf("Integral(6s) = %v, want 15", got)
+	}
+	if got := li.MaxLevel(); got != 5 {
+		t.Errorf("MaxLevel = %v, want 5", got)
+	}
+	if n := len(li.Transitions()); n != 4 {
+		t.Errorf("transitions = %d, want 4", n)
+	}
+}
+
+func TestLevelIntegratorWindowAverage(t *testing.T) {
+	li := NewLevelIntegrator()
+	li.Set(time.Second, 10)
+	li.Set(2*time.Second, 0)
+	tests := []struct {
+		from, to time.Duration
+		want     float64
+	}{
+		{0, 4 * time.Second, 2.5},
+		{time.Second, 2 * time.Second, 10},
+		{1500 * time.Millisecond, 2500 * time.Millisecond, 5},
+		{3 * time.Second, 4 * time.Second, 0},
+		{2 * time.Second, 2 * time.Second, 0}, // degenerate window
+	}
+	for _, tc := range tests {
+		if got := li.WindowAverage(tc.from, tc.to); got != tc.want {
+			t.Errorf("WindowAverage(%v,%v) = %v, want %v", tc.from, tc.to, got, tc.want)
+		}
+	}
+}
+
+func TestLevelIntegratorDuplicateSetIgnored(t *testing.T) {
+	li := NewLevelIntegrator()
+	li.Set(time.Second, 3)
+	li.Set(2*time.Second, 3) // no-op
+	if n := len(li.Transitions()); n != 1 {
+		t.Errorf("duplicate set recorded: %d transitions", n)
+	}
+}
+
+func TestLevelIntegratorAverageSeries(t *testing.T) {
+	li := NewLevelIntegrator()
+	// 1 for [0,1s), 3 for [1s,2s).
+	li.Set(0, 1)
+	li.Set(time.Second, 3)
+	li.Set(2*time.Second, 0)
+	buckets, err := li.AverageSeries(time.Second, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 3 {
+		t.Fatalf("got %d buckets", len(buckets))
+	}
+	want := []float64{1, 3, 0}
+	for i, b := range buckets {
+		if b.Mean != want[i] {
+			t.Errorf("bucket %d mean = %v, want %v", i, b.Mean, want[i])
+		}
+	}
+	if _, err := li.AverageSeries(0, time.Second); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := li.AverageSeries(time.Second, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestTimeSeriesAccessors(t *testing.T) {
+	ts := NewTimeSeries("x")
+	if ts.Len() != 0 || ts.MaxValue() != 0 || ts.MeanValue() != 0 {
+		t.Error("empty series accessors nonzero")
+	}
+	ts.Add(time.Second, 2)
+	ts.Add(2*time.Second, 8)
+	ts.Add(3*time.Second, 5)
+	if ts.Len() != 3 {
+		t.Errorf("Len = %d", ts.Len())
+	}
+	if ts.MaxValue() != 8 {
+		t.Errorf("MaxValue = %v", ts.MaxValue())
+	}
+	if ts.MeanValue() != 5 {
+		t.Errorf("MeanValue = %v", ts.MeanValue())
+	}
+}
+
+func TestSampleValuesAndString(t *testing.T) {
+	s := NewSample(2)
+	s.Add(2 * time.Second)
+	s.Add(time.Second)
+	vals := s.Values()
+	if len(vals) != 2 {
+		t.Fatalf("Values len = %d", len(vals))
+	}
+	// Mutating the copy must not affect the sample.
+	vals[0] = 0
+	if s.Max() != 2*time.Second {
+		t.Error("Values copy aliased the sample")
+	}
+	text := s.Summarize().String()
+	for _, want := range []string{"n=2", "p95", "max"} {
+		if !containsStr(text, want) {
+			t.Errorf("summary %q missing %q", text, want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRunningAccessors(t *testing.T) {
+	var r Running
+	if r.Count() != 0 || r.StdDev() != 0 {
+		t.Error("zero-value accessors wrong")
+	}
+	r.Add(3)
+	r.Add(7)
+	if r.Count() != 2 {
+		t.Errorf("Count = %d", r.Count())
+	}
+	if r.StdDev() <= 0 {
+		t.Errorf("StdDev = %v", r.StdDev())
+	}
+}
+
+func TestP2LinearInterpolationPath(t *testing.T) {
+	// Heavily skewed input forces the parabolic prediction out of
+	// bounds, exercising the linear fallback.
+	p2, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{1, 1, 1, 1, 1000, 1, 1, 1000, 1, 1, 1, 1000, 1, 1}
+	for _, v := range vals {
+		p2.Add(v)
+	}
+	got := p2.Value()
+	if got < 1 || got > 1000 {
+		t.Errorf("estimate %v outside data range", got)
+	}
+}
+
+func TestHistogramDeepTail(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := 0; i < 100; i++ {
+		h.Add(time.Millisecond)
+	}
+	h.Add(5 * time.Minute) // beyond the last bucket: clamped
+	q := h.Quantile(1)
+	if q < time.Millisecond {
+		t.Errorf("max quantile %v too small", q)
+	}
+	if h.Mean() < 2*time.Second {
+		t.Errorf("mean %v should be dominated by the outlier", h.Mean())
+	}
+	// Bucket bounds are increasing.
+	lo0, hi0 := h.BucketBounds(0)
+	lo1, _ := h.BucketBounds(1)
+	if !(lo0 < hi0 && hi0 == lo1) {
+		t.Errorf("bucket bounds wrong: [%v,%v) then lo %v", lo0, hi0, lo1)
+	}
+}

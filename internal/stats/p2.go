@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// P2Quantile is the P-square (P²) streaming quantile estimator of Jain &
+// Chlamtac (1985). It tracks one quantile in O(1) space, which is what the
+// MemCA backend prober uses to follow the target system's percentile
+// response time online without retaining every probe.
+type P2Quantile struct {
+	q       float64    // target quantile in (0, 1)
+	n       int        // observations seen
+	heights [5]float64 // marker heights
+	pos     [5]float64 // marker positions (1-based)
+	desired [5]float64 // desired marker positions
+	incr    [5]float64 // desired position increments
+	initial []float64  // first five observations before steady state
+}
+
+// NewP2Quantile returns an estimator for quantile q in (0, 1).
+func NewP2Quantile(q float64) (*P2Quantile, error) {
+	if q <= 0 || q >= 1 || math.IsNaN(q) {
+		return nil, fmt.Errorf("stats: P2 quantile must be in (0,1), got %v", q)
+	}
+	p := &P2Quantile{q: q, initial: make([]float64, 0, 5)}
+	p.incr = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p, nil
+}
+
+// Add feeds one observation.
+func (p *P2Quantile) Add(x float64) {
+	p.n++
+	if len(p.initial) < 5 {
+		p.initial = append(p.initial, x)
+		if len(p.initial) == 5 {
+			sort.Float64s(p.initial)
+			for i := 0; i < 5; i++ {
+				p.heights[i] = p.initial[i]
+				p.pos[i] = float64(i + 1)
+			}
+			p.desired = [5]float64{1, 1 + 2*p.q, 1 + 4*p.q, 3 + 2*p.q, 5}
+		}
+		return
+	}
+
+	// Find cell k such that heights[k] <= x < heights[k+1].
+	var k int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		k = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		k = 3
+	default:
+		for i := 1; i < 5; i++ {
+			if x < p.heights[i] {
+				k = i - 1
+				break
+			}
+		}
+	}
+
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		p.desired[i] += p.incr[i]
+	}
+
+	// Adjust interior markers.
+	for i := 1; i <= 3; i++ {
+		d := p.desired[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			h := p.parabolic(i, sign)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, sign)
+			}
+			p.pos[i] += sign
+		}
+	}
+}
+
+func (p *P2Quantile) parabolic(i int, d float64) float64 {
+	return p.heights[i] + d/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+d)*(p.heights[i+1]-p.heights[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-d)*(p.heights[i]-p.heights[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+func (p *P2Quantile) linear(i int, d float64) float64 {
+	di := int(d)
+	return p.heights[i] + d*(p.heights[i+di]-p.heights[i])/(p.pos[i+di]-p.pos[i])
+}
+
+// Count returns the number of observations fed so far.
+func (p *P2Quantile) Count() int { return p.n }
+
+// Value returns the current quantile estimate. Before five observations it
+// falls back to the exact quantile of what has been seen; with no
+// observations it returns 0.
+func (p *P2Quantile) Value() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	if len(p.initial) < 5 {
+		cp := make([]float64, len(p.initial))
+		copy(cp, p.initial)
+		sort.Float64s(cp)
+		idx := int(p.q * float64(len(cp)))
+		if idx >= len(cp) {
+			idx = len(cp) - 1
+		}
+		return cp[idx]
+	}
+	return p.heights[2]
+}

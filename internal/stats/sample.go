@@ -1,0 +1,175 @@
+// Package stats provides the statistics kernels used throughout the MemCA
+// reproduction: exact and streaming percentiles, histograms, windowed time
+// series, running moments, and the EWMA/CUSUM primitives that back the
+// interference detectors.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample collects duration observations and answers exact quantile queries.
+// It sorts lazily and caches the sorted order until the next Add.
+type Sample struct {
+	values []time.Duration
+	sorted bool
+}
+
+// NewSample returns an empty sample with the given capacity hint.
+func NewSample(capacity int) *Sample {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Sample{values: make([]time.Duration, 0, capacity)}
+}
+
+// Add records one observation.
+func (s *Sample) Add(v time.Duration) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.values) }
+
+// Values returns a copy of the raw observations in insertion order when the
+// sample has never been sorted, or in sorted order afterwards. Callers that
+// need a specific order should not rely on it; the copy is for export.
+func (s *Sample) Values() []time.Duration {
+	cp := make([]time.Duration, len(s.values))
+	copy(cp, s.values)
+	return cp
+}
+
+func (s *Sample) sort() {
+	if s.sorted {
+		return
+	}
+	sort.Slice(s.values, func(i, j int) bool { return s.values[i] < s.values[j] })
+	s.sorted = true
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation
+// between order statistics. An empty sample yields 0.
+func (s *Sample) Quantile(q float64) time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.sort()
+	if q <= 0 {
+		return s.values[0]
+	}
+	if q >= 1 {
+		return s.values[len(s.values)-1]
+	}
+	pos := q * float64(len(s.values)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := pos - float64(lo)
+	return s.values[lo] + time.Duration(frac*float64(s.values[hi]-s.values[lo]))
+}
+
+// Percentile returns the p-th percentile, p in [0, 100].
+func (s *Sample) Percentile(p float64) time.Duration { return s.Quantile(p / 100) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += float64(v)
+	}
+	return time.Duration(sum / float64(len(s.values)))
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.values[len(s.values)-1]
+}
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.values[0]
+}
+
+// CountAbove returns how many observations strictly exceed threshold.
+func (s *Sample) CountAbove(threshold time.Duration) int {
+	s.sort()
+	// first index with value > threshold
+	idx := sort.Search(len(s.values), func(i int) bool { return s.values[i] > threshold })
+	return len(s.values) - idx
+}
+
+// FractionAbove returns the fraction of observations strictly above
+// threshold, or 0 for an empty sample.
+func (s *Sample) FractionAbove(threshold time.Duration) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return float64(s.CountAbove(threshold)) / float64(len(s.values))
+}
+
+// PercentileCurve evaluates the sample at each requested percentile. It is
+// the shape used by the paper's Figure 2 and Figure 7 plots.
+func (s *Sample) PercentileCurve(percentiles []float64) []time.Duration {
+	out := make([]time.Duration, len(percentiles))
+	for i, p := range percentiles {
+		out[i] = s.Percentile(p)
+	}
+	return out
+}
+
+// Summary is a compact description of a distribution of response times.
+type Summary struct {
+	Count int           `json:"count"`
+	Mean  time.Duration `json:"mean"`
+	Min   time.Duration `json:"min"`
+	P50   time.Duration `json:"p50"`
+	P90   time.Duration `json:"p90"`
+	P95   time.Duration `json:"p95"`
+	P98   time.Duration `json:"p98"`
+	P99   time.Duration `json:"p99"`
+	P999  time.Duration `json:"p999"`
+	Max   time.Duration `json:"max"`
+}
+
+// Summarize computes the standard summary used across the experiments.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		Count: s.Len(),
+		Mean:  s.Mean(),
+		Min:   s.Min(),
+		P50:   s.Percentile(50),
+		P90:   s.Percentile(90),
+		P95:   s.Percentile(95),
+		P98:   s.Percentile(98),
+		P99:   s.Percentile(99),
+		P999:  s.Percentile(99.9),
+		Max:   s.Max(),
+	}
+}
+
+// String renders the summary as a single readable line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p95=%v p98=%v p99=%v max=%v",
+		s.Count, s.Mean.Round(time.Millisecond), s.P50.Round(time.Millisecond),
+		s.P90.Round(time.Millisecond), s.P95.Round(time.Millisecond),
+		s.P98.Round(time.Millisecond), s.P99.Round(time.Millisecond),
+		s.Max.Round(time.Millisecond))
+}

@@ -1,0 +1,402 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSampleQuantileBasics(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	tests := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, time.Millisecond},
+		{100, 100 * time.Millisecond},
+		{50, 50*time.Millisecond + 500*time.Microsecond},
+	}
+	for _, tc := range tests {
+		got := s.Percentile(tc.p)
+		if got != tc.want {
+			t.Errorf("P%.0f = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	s := NewSample(0)
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Max() != 0 || s.Min() != 0 {
+		t.Error("empty sample should return zeros")
+	}
+	if s.FractionAbove(time.Second) != 0 {
+		t.Error("empty FractionAbove should be 0")
+	}
+	sum := s.Summarize()
+	if sum.Count != 0 {
+		t.Errorf("empty summary count = %d", sum.Count)
+	}
+}
+
+func TestSampleAddAfterQuery(t *testing.T) {
+	s := NewSample(4)
+	s.Add(3 * time.Second)
+	s.Add(time.Second)
+	if got := s.Min(); got != time.Second {
+		t.Fatalf("Min = %v", got)
+	}
+	s.Add(500 * time.Millisecond) // must invalidate the sort cache
+	if got := s.Min(); got != 500*time.Millisecond {
+		t.Errorf("Min after re-add = %v, want 500ms", got)
+	}
+}
+
+func TestSampleCountAbove(t *testing.T) {
+	s := NewSample(0)
+	for _, v := range []time.Duration{1, 2, 3, 4, 5} {
+		s.Add(v * time.Second)
+	}
+	if got := s.CountAbove(3 * time.Second); got != 2 {
+		t.Errorf("CountAbove(3s) = %d, want 2", got)
+	}
+	if got := s.CountAbove(0); got != 5 {
+		t.Errorf("CountAbove(0) = %d, want 5", got)
+	}
+	if got := s.FractionAbove(4 * time.Second); got != 0.2 {
+		t.Errorf("FractionAbove(4s) = %v, want 0.2", got)
+	}
+}
+
+func TestSamplePercentileCurveMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewSample(0)
+	for i := 0; i < 10000; i++ {
+		s.Add(time.Duration(rng.Int63n(int64(10 * time.Second))))
+	}
+	ps := []float64{10, 25, 50, 75, 90, 95, 98, 99, 99.9}
+	curve := s.PercentileCurve(ps)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatalf("percentile curve not monotone at %v: %v < %v", ps[i], curve[i], curve[i-1])
+		}
+	}
+}
+
+func TestSampleQuantilePropertyWithinRange(t *testing.T) {
+	f := func(raw []uint16, qRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSample(len(raw))
+		var lo, hi time.Duration = 1 << 62, 0
+		for _, r := range raw {
+			d := time.Duration(r)
+			s.Add(d)
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		q := float64(qRaw) / 65535
+		v := s.Quantile(q)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestP2MatchesExactQuantile(t *testing.T) {
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		rng := rand.New(rand.NewSource(17))
+		p2, err := NewP2Quantile(q)
+		if err != nil {
+			t.Fatalf("NewP2Quantile(%v): %v", q, err)
+		}
+		vals := make([]float64, 0, 50000)
+		for i := 0; i < 50000; i++ {
+			v := rng.ExpFloat64() * 100
+			p2.Add(v)
+			vals = append(vals, v)
+		}
+		sort.Float64s(vals)
+		exact := vals[int(q*float64(len(vals)))]
+		got := p2.Value()
+		rel := (got - exact) / exact
+		if rel < -0.08 || rel > 0.08 {
+			t.Errorf("P2(q=%v) = %v, exact %v (rel err %.3f)", q, got, exact, rel)
+		}
+	}
+}
+
+func TestP2SmallSamples(t *testing.T) {
+	p2, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Value() != 0 {
+		t.Error("empty estimator should return 0")
+	}
+	p2.Add(10)
+	p2.Add(20)
+	p2.Add(30)
+	v := p2.Value()
+	if v < 10 || v > 30 {
+		t.Errorf("small-sample estimate %v outside observed range", v)
+	}
+	if p2.Count() != 3 {
+		t.Errorf("Count = %d, want 3", p2.Count())
+	}
+}
+
+func TestP2RejectsBadQuantile(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := NewP2Quantile(q); err == nil {
+			t.Errorf("NewP2Quantile(%v) accepted", q)
+		}
+	}
+}
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(v)
+	}
+	if r.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	// Sample variance of the classic dataset is 32/7.
+	want := 32.0 / 7.0
+	if got := r.Variance(); got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(0.2)
+	for i := 0; i < 200; i++ {
+		e.Add(7)
+	}
+	if got := e.Value(); got < 6.999 || got > 7.001 {
+		t.Errorf("EWMA of constant = %v, want 7", got)
+	}
+}
+
+func TestEWMAPrimesOnFirstValue(t *testing.T) {
+	e := NewEWMA(0.01)
+	if e.Primed() {
+		t.Error("new EWMA reports primed")
+	}
+	e.Add(100)
+	if e.Value() != 100 {
+		t.Errorf("first value = %v, want 100", e.Value())
+	}
+}
+
+func TestCUSUMDetectsShift(t *testing.T) {
+	c := NewCUSUM(10, 1, 5)
+	for i := 0; i < 100; i++ {
+		if c.Add(10) {
+			t.Fatal("CUSUM alarmed on in-control data")
+		}
+	}
+	alarmed := false
+	for i := 0; i < 20; i++ {
+		if c.Add(14) {
+			alarmed = true
+			break
+		}
+	}
+	if !alarmed {
+		t.Error("CUSUM missed a 4-sigma-equivalent shift")
+	}
+	if c.Alarms() != 1 {
+		t.Errorf("Alarms = %d, want 1", c.Alarms())
+	}
+	if c.Sum() != 0 {
+		t.Errorf("Sum not reset after alarm: %v", c.Sum())
+	}
+}
+
+func TestTimeSeriesResample(t *testing.T) {
+	ts := NewTimeSeries("cpu")
+	ts.Add(100*time.Millisecond, 1)
+	ts.Add(200*time.Millisecond, 3)
+	ts.Add(1100*time.Millisecond, 10)
+	buckets, err := ts.Resample(time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(buckets))
+	}
+	if buckets[0].Mean != 2 || buckets[0].Count != 2 || buckets[0].Max != 3 {
+		t.Errorf("bucket0 = %+v", buckets[0])
+	}
+	if buckets[1].Mean != 10 || buckets[1].Count != 1 {
+		t.Errorf("bucket1 = %+v", buckets[1])
+	}
+}
+
+func TestTimeSeriesResampleRejectsBadArgs(t *testing.T) {
+	ts := NewTimeSeries("x")
+	if _, err := ts.Resample(0, time.Second); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := ts.Resample(time.Second, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestTimeSeriesWindowAndSort(t *testing.T) {
+	ts := NewTimeSeries("x")
+	ts.Add(3*time.Second, 3)
+	ts.Add(1*time.Second, 1)
+	ts.Add(2*time.Second, 2)
+	ts.Sort()
+	w := ts.Window(time.Second, 3*time.Second)
+	if len(w) != 2 || w[0].V != 1 || w[1].V != 2 {
+		t.Errorf("Window = %+v", w)
+	}
+}
+
+func TestBusyIntegratorUtilization(t *testing.T) {
+	b := NewBusyIntegrator()
+	b.SetBusy(1*time.Second, true)
+	b.SetBusy(2*time.Second, false)
+	b.SetBusy(3*time.Second, true)
+	b.SetBusy(3500*time.Millisecond, false)
+
+	tests := []struct {
+		from, to time.Duration
+		want     float64
+	}{
+		{0, 4 * time.Second, 1.5 / 4},
+		{0, 1 * time.Second, 0},
+		{1 * time.Second, 2 * time.Second, 1},
+		{1500 * time.Millisecond, 2500 * time.Millisecond, 0.5},
+		{3 * time.Second, 4 * time.Second, 0.5},
+	}
+	for _, tc := range tests {
+		got := b.Utilization(tc.from, tc.to)
+		if got < tc.want-1e-9 || got > tc.want+1e-9 {
+			t.Errorf("Utilization(%v,%v) = %v, want %v", tc.from, tc.to, got, tc.want)
+		}
+	}
+}
+
+func TestBusyIntegratorOpenBusyPeriod(t *testing.T) {
+	b := NewBusyIntegrator()
+	b.SetBusy(time.Second, true)
+	if got := b.Utilization(0, 3*time.Second); got < 2.0/3-1e-9 || got > 2.0/3+1e-9 {
+		t.Errorf("open busy utilization = %v, want 2/3", got)
+	}
+	if got := b.TotalBusy(4 * time.Second); got != 3*time.Second {
+		t.Errorf("TotalBusy = %v, want 3s", got)
+	}
+}
+
+func TestBusyIntegratorDuplicateStatesIgnored(t *testing.T) {
+	b := NewBusyIntegrator()
+	b.SetBusy(time.Second, true)
+	b.SetBusy(2*time.Second, true) // duplicate
+	b.SetBusy(3*time.Second, false)
+	if got := b.TotalBusy(3 * time.Second); got != 2*time.Second {
+		t.Errorf("TotalBusy = %v, want 2s", got)
+	}
+}
+
+func TestBusyIntegratorSeries(t *testing.T) {
+	b := NewBusyIntegrator()
+	// 100ms busy burst every second, like a miniature MemCA attack.
+	for i := 0; i < 5; i++ {
+		start := time.Duration(i) * time.Second
+		b.SetBusy(start, true)
+		b.SetBusy(start+100*time.Millisecond, false)
+	}
+	fine, err := b.UtilizationSeries(100*time.Millisecond, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := b.UtilizationSeries(time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fine granularity sees saturation; coarse sees 10%.
+	maxFine := 0.0
+	for _, bk := range fine {
+		if bk.Mean > maxFine {
+			maxFine = bk.Mean
+		}
+	}
+	if maxFine < 0.999 {
+		t.Errorf("fine-grained max utilization %v, want ~1.0", maxFine)
+	}
+	for _, bk := range coarse {
+		if bk.Mean < 0.099 || bk.Mean > 0.101 {
+			t.Errorf("coarse bucket at %v = %v, want ~0.1", bk.Start, bk.Mean)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(8))
+	s := NewSample(0)
+	for i := 0; i < 100000; i++ {
+		v := time.Duration(rng.ExpFloat64() * float64(100*time.Millisecond))
+		h.Add(v)
+		s.Add(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := s.Quantile(q)
+		approx := h.Quantile(q)
+		ratio := float64(approx) / float64(exact)
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("histogram q=%v: %v vs exact %v (ratio %.3f)", q, approx, exact, ratio)
+		}
+	}
+	if h.Count() != 100000 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	mean := h.Mean()
+	if mean < 95*time.Millisecond || mean > 105*time.Millisecond {
+		t.Errorf("Mean = %v, want ~100ms", mean)
+	}
+}
+
+func TestHistogramRejectsBadConfig(t *testing.T) {
+	if _, err := NewHistogram(0, 1.5, 10); err == nil {
+		t.Error("zero base accepted")
+	}
+	if _, err := NewHistogram(time.Millisecond, 1.0, 10); err == nil {
+		t.Error("growth 1.0 accepted")
+	}
+	if _, err := NewHistogram(time.Millisecond, 1.5, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+}
+
+func TestHistogramUnderflow(t *testing.T) {
+	h, err := NewHistogram(time.Millisecond, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(time.Microsecond)
+	if h.Count() != 1 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q > time.Millisecond {
+		t.Errorf("underflow quantile = %v, want <= 1ms", q)
+	}
+}

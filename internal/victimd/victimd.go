@@ -1,0 +1,308 @@
+// Package victimd implements a miniature but real 3-tier web system over
+// HTTP on localhost: a web tier, an app tier, and a db tier, each a real
+// HTTP server with a bounded worker pool (the Q_i of the queueing model)
+// and a configurable service time, chained by synchronous HTTP calls
+// exactly like the RPC coupling the paper studies. It exists so the
+// MemCA-FE/BE framework (cmd/memca-fe, cmd/memca-be) has a live target to
+// probe, and so the cross-tier back-pressure mechanics can be observed on
+// a real network stack: fill the db tier's pool and watch the web tier's
+// connections stall and get rejected.
+//
+// The db tier exposes a capacity control endpoint (/control/capacity) that
+// scales its service time — the hook an attack driver uses to emulate the
+// millibottleneck on a machine where real memory contention is not
+// available or not desired.
+package victimd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// TierConfig describes one tier of the live system.
+type TierConfig struct {
+	// Name labels the tier.
+	Name string
+	// Workers bounds concurrent requests (the thread pool, Q_i).
+	Workers int
+	// Service is the tier's local processing time at full capacity.
+	Service time.Duration
+	// Backend is the downstream tier's URL; empty for the last tier.
+	Backend string
+	// AcquireTimeout is how long a request waits for a worker slot
+	// before being shed (the TCP accept queue's patience). Zero sheds
+	// immediately.
+	AcquireTimeout time.Duration
+}
+
+// Validate reports the first tier error, or nil.
+func (c TierConfig) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("victimd: tier name must not be empty")
+	}
+	if c.Workers <= 0 {
+		return fmt.Errorf("victimd: tier %q workers must be positive, got %d", c.Name, c.Workers)
+	}
+	if c.Service < 0 {
+		return fmt.Errorf("victimd: tier %q service must be non-negative, got %v", c.Name, c.Service)
+	}
+	return nil
+}
+
+// Tier is one running tier server.
+type Tier struct {
+	cfg      TierConfig
+	listener net.Listener
+	server   *http.Server
+	client   *http.Client
+
+	// slots is the worker-pool semaphore; acquisition is non-blocking:
+	// a full pool rejects with 503, modelling the finite accept queue.
+	slots chan struct{}
+	// slowdown scales the service time (1000 = 1.0x), adjusted through
+	// the control endpoint. Stored as millis to stay atomic.
+	slowdown atomic.Int64
+
+	served   atomic.Int64
+	rejected atomic.Int64
+}
+
+// StartTier binds a tier to addr (":0" for an ephemeral port) and serves
+// in a background goroutine until Close.
+func StartTier(addr string, cfg TierConfig) (*Tier, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("victimd: listen %s: %w", addr, err)
+	}
+	t := &Tier{
+		cfg:      cfg,
+		listener: ln,
+		client:   &http.Client{Timeout: 10 * time.Second},
+		slots:    make(chan struct{}, cfg.Workers),
+	}
+	t.slowdown.Store(1000)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", t.handle)
+	mux.HandleFunc("/control/capacity", t.handleCapacity)
+	mux.HandleFunc("/stats", t.handleStats)
+	t.server = &http.Server{Handler: mux}
+	go func() {
+		if err := t.server.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// The tier is torn down by Close; other serve errors are
+			// fatal for a daemon but must not crash a test host.
+			fmt.Printf("victimd: tier %s serve: %v\n", cfg.Name, err)
+		}
+	}()
+	return t, nil
+}
+
+// URL returns the tier's base URL.
+func (t *Tier) URL() string { return "http://" + t.listener.Addr().String() }
+
+// Served returns the number of requests completed.
+func (t *Tier) Served() int64 { return t.served.Load() }
+
+// Rejected returns the number of requests shed by the full pool.
+func (t *Tier) Rejected() int64 { return t.rejected.Load() }
+
+// SetCapacityMultiplier scales the tier's service rate: 0.1 means work
+// takes 10x longer (the MemCA millibottleneck lever).
+func (t *Tier) SetCapacityMultiplier(m float64) error {
+	if m <= 0 || m > 1 || math.IsNaN(m) {
+		return fmt.Errorf("victimd: multiplier must be in (0,1], got %v", m)
+	}
+	t.slowdown.Store(int64(1000 / m))
+	return nil
+}
+
+// Close shuts the tier down.
+func (t *Tier) Close() error {
+	return t.server.Close()
+}
+
+func (t *Tier) handle(w http.ResponseWriter, r *http.Request) {
+	if !t.acquire(r.Context()) {
+		t.rejected.Add(1)
+		http.Error(w, "pool exhausted", http.StatusServiceUnavailable)
+		return
+	}
+	defer func() { <-t.slots }()
+
+	// Local work, stretched by the current slowdown.
+	d := time.Duration(float64(t.cfg.Service) * float64(t.slowdown.Load()) / 1000)
+	if d > 0 {
+		select {
+		case <-time.After(d):
+		case <-r.Context().Done():
+			return
+		}
+	}
+
+	// Synchronous downstream call while holding the worker slot — the
+	// RPC coupling that propagates back-pressure upstream.
+	if t.cfg.Backend != "" {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, t.cfg.Backend, nil)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp, err := t.client.Do(req)
+		if err != nil {
+			http.Error(w, "backend unreachable", http.StatusBadGateway)
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		status := resp.StatusCode
+		if err := resp.Body.Close(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if status != http.StatusOK {
+			http.Error(w, "backend congested", http.StatusBadGateway)
+			return
+		}
+	}
+	t.served.Add(1)
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write([]byte(t.cfg.Name + " ok\n")); err != nil {
+		return
+	}
+}
+
+// acquire takes a worker slot, waiting up to the configured timeout. It
+// reports whether the slot was obtained.
+func (t *Tier) acquire(ctx context.Context) bool {
+	select {
+	case t.slots <- struct{}{}:
+		return true
+	default:
+	}
+	if t.cfg.AcquireTimeout <= 0 {
+		return false
+	}
+	select {
+	case t.slots <- struct{}{}:
+		return true
+	case <-time.After(t.cfg.AcquireTimeout):
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (t *Tier) handleCapacity(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("multiplier")
+	m, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		http.Error(w, "multiplier must be a float", http.StatusBadRequest)
+		return
+	}
+	if err := t.SetCapacityMultiplier(m); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (t *Tier) handleStats(w http.ResponseWriter, _ *http.Request) {
+	fmt.Fprintf(w, `{"name":%q,"served":%d,"rejected":%d,"slowdown_permille":%d}`+"\n",
+		t.cfg.Name, t.served.Load(), t.rejected.Load(), t.slowdown.Load())
+}
+
+// System is a running 3-tier chain.
+type System struct {
+	Web, App, DB *Tier
+}
+
+// SystemConfig sizes the live 3-tier chain.
+type SystemConfig struct {
+	// WebWorkers/AppWorkers/DBWorkers are the per-tier pools; they must
+	// descend (condition 1 of the model).
+	WebWorkers, AppWorkers, DBWorkers int
+	// WebService/AppService/DBService are per-tier local service times.
+	WebService, AppService, DBService time.Duration
+}
+
+// DefaultSystem returns a laptop-scale chain mirroring the simulation's
+// proportions.
+func DefaultSystem() SystemConfig {
+	return SystemConfig{
+		WebWorkers: 32, AppWorkers: 16, DBWorkers: 8,
+		WebService: 200 * time.Microsecond,
+		AppService: 500 * time.Microsecond,
+		DBService:  2 * time.Millisecond,
+	}
+}
+
+// StartSystem launches db, app, and web tiers on ephemeral localhost
+// ports, chained back to front.
+func StartSystem(cfg SystemConfig) (*System, error) {
+	if cfg.WebWorkers <= cfg.AppWorkers || cfg.AppWorkers <= cfg.DBWorkers {
+		return nil, fmt.Errorf("victimd: worker pools must descend front to back (got %d/%d/%d)",
+			cfg.WebWorkers, cfg.AppWorkers, cfg.DBWorkers)
+	}
+	const patience = 20 * time.Millisecond
+	db, err := StartTier("127.0.0.1:0", TierConfig{
+		Name: "db", Workers: cfg.DBWorkers, Service: cfg.DBService, AcquireTimeout: patience,
+	})
+	if err != nil {
+		return nil, err
+	}
+	app, err := StartTier("127.0.0.1:0", TierConfig{
+		Name: "app", Workers: cfg.AppWorkers, Service: cfg.AppService, Backend: db.URL() + "/", AcquireTimeout: patience,
+	})
+	if err != nil {
+		_ = db.Close()
+		return nil, err
+	}
+	web, err := StartTier("127.0.0.1:0", TierConfig{
+		Name: "web", Workers: cfg.WebWorkers, Service: cfg.WebService, Backend: app.URL() + "/", AcquireTimeout: patience,
+	})
+	if err != nil {
+		_ = db.Close()
+		_ = app.Close()
+		return nil, err
+	}
+	return &System{Web: web, App: app, DB: db}, nil
+}
+
+// Close tears the chain down, returning the first error.
+func (s *System) Close() error {
+	var first error
+	for _, t := range []*Tier{s.Web, s.App, s.DB} {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Probe measures one end-to-end request against the web tier; rejected
+// requests report the error.
+func (s *System) Probe(ctx context.Context) (time.Duration, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.Web.URL()+"/", nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if err := resp.Body.Close(); err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), resp.StatusCode, nil
+}

@@ -1,0 +1,166 @@
+// Package memca is a simulation-backed reproduction of "Tail Amplification
+// in n-Tier Systems: A Study of Transient Cross-Resource Contention
+// Attacks" (ICDCS 2019): the MemCA attack, the n-tier queueing substrate
+// it targets, the memory-contention model that couples a co-located
+// adversary's memory traffic to the victim's CPU capacity, the analytical
+// model of Equations (2)-(10), the Kalman-filtered attack controller, and
+// the monitoring/elasticity stack the attack evades.
+//
+// The public surface re-exports the orchestration layer: build a Config,
+// create an Experiment, Run it, and inspect the Report.
+//
+//	cfg := memca.DefaultConfig()
+//	x, err := memca.NewExperiment(cfg)
+//	if err != nil { ... }
+//	report, err := x.Run()
+//	fmt.Println(report.Render())
+//
+// Deeper layers (the queueing network, the host memory model, the burst
+// scheduler) are exposed through the Experiment accessors; the analytical
+// model and bandwidth profiler are re-exported below for direct use.
+package memca
+
+import (
+	"time"
+
+	"memca/internal/analytical"
+	"memca/internal/attack"
+	"memca/internal/control"
+	"memca/internal/core"
+	"memca/internal/memmodel"
+	"memca/internal/monitor"
+)
+
+// Re-exported orchestration types.
+type (
+	// Config assembles one experiment run.
+	Config = core.Config
+	// Env selects the modelled cloud environment.
+	Env = core.Env
+	// AttackSpec configures the adversary.
+	AttackSpec = core.AttackSpec
+	// FeedbackSpec enables the MemCA-BE control loop.
+	FeedbackSpec = core.FeedbackSpec
+	// ScalingSpec enables elastic scaling during the run.
+	ScalingSpec = core.ScalingSpec
+	// DefenseSpec enables host-side countermeasures on the victim host.
+	DefenseSpec = core.DefenseSpec
+	// Experiment is one wired run.
+	Experiment = core.Experiment
+	// Report is the distilled outcome.
+	Report = core.Report
+	// TierReport summarizes one tier.
+	TierReport = core.TierReport
+)
+
+// Re-exported attack and control types.
+type (
+	// AttackParams are the (R, L, I) knobs of Equation (1).
+	AttackParams = attack.Params
+	// Goal is the damage/stealth objective of the controller.
+	Goal = control.Goal
+	// Bounds clamp the controller's search space.
+	Bounds = control.Bounds
+)
+
+// Re-exported analytical-model types (Equations 2-10).
+type (
+	// Model is the n-tier analytical model.
+	Model = analytical.Model
+	// ModelTier holds one tier's Table I parameters.
+	ModelTier = analytical.Tier
+	// ModelAttack is an analytical attack parameterization.
+	ModelAttack = analytical.Attack
+	// Prediction is the closed-form attack outcome.
+	Prediction = analytical.Prediction
+)
+
+// Re-exported memory-model types.
+type (
+	// HostConfig describes a physical host's memory subsystem.
+	HostConfig = memmodel.HostConfig
+	// VictimProfile characterizes bandwidth sensitivity.
+	VictimProfile = memmodel.VictimProfile
+	// BandwidthPoint is one Figure 3 measurement.
+	BandwidthPoint = memmodel.BandwidthPoint
+)
+
+// Environments.
+const (
+	// EnvPrivateCloud models the paper's OpenStack/KVM testbed.
+	EnvPrivateCloud = core.EnvPrivateCloud
+	// EnvEC2 models the Amazon EC2 dedicated-host deployment.
+	EnvEC2 = core.EnvEC2
+)
+
+// Attack kinds.
+const (
+	// AttackBusSaturation streams through memory to saturate the bus.
+	AttackBusSaturation = memmodel.AttackBusSaturation
+	// AttackMemoryLock asserts bus locks with unaligned atomics (the
+	// paper's evaluation choice: strictly more effective).
+	AttackMemoryLock = memmodel.AttackMemoryLock
+)
+
+// Placement modes for bandwidth profiling.
+const (
+	// PlacementSamePackage pins all VMs to one package.
+	PlacementSamePackage = memmodel.PlacementSamePackage
+	// PlacementRandomPackage floats VMs over all packages.
+	PlacementRandomPackage = memmodel.PlacementRandomPackage
+)
+
+// FigurePercentiles is the percentile grid of Report curves (Figures 2
+// and 7). Treat it as read-only.
+func FigurePercentiles() []float64 {
+	cp := make([]float64, len(core.FigurePercentiles))
+	copy(cp, core.FigurePercentiles)
+	return cp
+}
+
+// DefaultConfig returns the paper's RUBBoS evaluation setup: 3500 clients,
+// 3 minutes, memory-lock attack with I = 2 s and L = 500 ms on EC2.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultFeedback returns the paper's control goal: client p95 above 1 s
+// with millibottlenecks under 1 s.
+func DefaultFeedback() FeedbackSpec { return core.DefaultFeedback() }
+
+// NewExperiment validates a configuration and wires every component.
+func NewExperiment(cfg Config) (*Experiment, error) { return core.NewExperiment(cfg) }
+
+// RUBBoSModel returns the analytical model matching the default topology.
+func RUBBoSModel() Model { return analytical.RUBBoS3Tier() }
+
+// PredictAttack evaluates Equations (2)-(10) for an attack on a model.
+func PredictAttack(m Model, a ModelAttack) (Prediction, error) { return m.Predict(a) }
+
+// PlanAttack inverts the model: find the weakest attack parameters that
+// meet a damage goal under a stealth bound at the given burst interval.
+func PlanAttack(m Model, minImpact float64, maxMillibottleneck, interval time.Duration) (ModelAttack, error) {
+	return analytical.PlanAttack(m, analytical.Goal{
+		MinImpact:          minImpact,
+		MaxMillibottleneck: maxMillibottleneck,
+	}, interval)
+}
+
+// XeonE5_2603v3 returns the paper's private-cloud host model.
+func XeonE5_2603v3() HostConfig { return memmodel.XeonE5_2603v3() }
+
+// EC2DedicatedHost returns the paper's EC2 dedicated-host model.
+func EC2DedicatedHost() HostConfig { return memmodel.EC2DedicatedHost() }
+
+// ProfileBandwidth measures the per-VM available memory bandwidth under a
+// given co-location and attack (the Section III profiling experiment).
+func ProfileBandwidth(cfg HostConfig, vms int, placement memmodel.PlacementMode, kind memmodel.AttackKind, lockDuty float64) (BandwidthPoint, error) {
+	return memmodel.ProfileBandwidth(cfg, vms, placement, kind, lockDuty)
+}
+
+// BandwidthSweep profiles 1..maxVMs co-located VMs (one Figure 3 curve).
+func BandwidthSweep(cfg HostConfig, maxVMs int, placement memmodel.PlacementMode, kind memmodel.AttackKind, lockDuty float64) ([]BandwidthPoint, error) {
+	return memmodel.BandwidthSweep(cfg, maxVMs, placement, kind, lockDuty)
+}
+
+// DefaultAutoScaler returns the modelled AWS trigger: 85% average CPU over
+// one 1-minute CloudWatch period.
+func DefaultAutoScaler() monitor.AutoScalerConfig { return monitor.DefaultAutoScaler() }

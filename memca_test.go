@@ -1,0 +1,97 @@
+package memca_test
+
+import (
+	"testing"
+	"time"
+
+	"memca"
+)
+
+// TestFacadeQuickExperiment exercises the public API end to end at reduced
+// scale: configure, run, and read the report through the facade only.
+func TestFacadeQuickExperiment(t *testing.T) {
+	cfg := memca.DefaultConfig()
+	cfg.Duration = 30 * time.Second
+	cfg.Warmup = 5 * time.Second
+	cfg.Clients = 700
+	cfg.ThinkTime = 1400 * time.Millisecond
+
+	x, err := memca.NewExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := x.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.GoalMet {
+		t.Errorf("facade attack run missed the goal: p95 = %v", rep.Client.P95)
+	}
+	if len(rep.Tiers) != 3 {
+		t.Errorf("tiers = %d", len(rep.Tiers))
+	}
+	if rep.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestFacadeAnalytical(t *testing.T) {
+	m := memca.RUBBoSModel()
+	pred, err := memca.PredictAttack(m, memca.ModelAttack{
+		D: 0.1, L: 500 * time.Millisecond, I: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.QueuesAllFill || pred.Impact <= 0 {
+		t.Errorf("prediction wrong: %+v", pred)
+	}
+	planned, err := memca.PlanAttack(m, 0.05, time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned.L <= 0 || planned.D <= 0 {
+		t.Errorf("planned attack wrong: %+v", planned)
+	}
+}
+
+func TestFacadeBandwidthProfile(t *testing.T) {
+	cfg := memca.XeonE5_2603v3()
+	point, err := memca.ProfileBandwidth(cfg, 3, memca.PlacementSamePackage, memca.AttackMemoryLock, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if point.PerVMMBps <= 0 {
+		t.Errorf("bandwidth point: %+v", point)
+	}
+	sweep, err := memca.BandwidthSweep(cfg, 4, memca.PlacementRandomPackage, memca.AttackBusSaturation, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 4 {
+		t.Errorf("sweep points = %d", len(sweep))
+	}
+	ec2 := memca.EC2DedicatedHost()
+	if ec2.BusBandwidthMBps <= cfg.BusBandwidthMBps {
+		t.Error("EC2 host should have more bandwidth than the private host")
+	}
+}
+
+func TestFacadePercentilesCopy(t *testing.T) {
+	a := memca.FigurePercentiles()
+	a[0] = -1
+	b := memca.FigurePercentiles()
+	if b[0] == -1 {
+		t.Error("FigurePercentiles returns a shared slice")
+	}
+	if b[len(b)-1] != 99.9 {
+		t.Errorf("grid end = %v", b[len(b)-1])
+	}
+}
+
+func TestFacadeAutoScaler(t *testing.T) {
+	trigger := memca.DefaultAutoScaler()
+	if trigger.Threshold != 0.85 || trigger.Period != time.Minute {
+		t.Errorf("default trigger: %+v", trigger)
+	}
+}
