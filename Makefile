@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test race bench figures quick-figures demo clean
+.PHONY: all build vet lint test race bench figures quick-figures demo clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -10,11 +10,16 @@ build:
 vet:
 	$(GO) vet ./...
 
+# memca-lint is the project's custom analyzer suite (sim determinism,
+# clock discipline, float comparison, dropped errors); see DESIGN.md.
+lint:
+	$(GO) run ./cmd/memca-lint ./...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/memcafw/ ./internal/victimd/
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .

@@ -1,0 +1,78 @@
+// Command memca-lint runs the project's custom static-analysis suite over
+// the given go-list package patterns (default ./...). It enforces the
+// invariants the paper reproduction rests on — sim determinism, the
+// simulated/wall clock boundary, epsilon float comparison, and no silently
+// dropped errors — and exits non-zero on any finding so it can gate CI.
+//
+// Usage:
+//
+//	go run ./cmd/memca-lint ./...
+//	go run ./cmd/memca-lint -analyzers simdeterminism,clockdiscipline ./internal/...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"memca/internal/lint"
+)
+
+func main() {
+	var (
+		names = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list  = flag.Bool("list", false, "list available analyzers and exit")
+	)
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *names != "" {
+		want := make(map[string]bool)
+		for _, n := range strings.Split(*names, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(os.Stderr, "memca-lint: unknown analyzer %q\n", n)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memca-lint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memca-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers, lint.DefaultConfig())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "memca-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"memca"
+	"memca/internal/stats"
 )
 
 func main() {
@@ -77,7 +78,7 @@ func run() error {
 func indexOfPercentile(p float64) int {
 	grid := memca.FigurePercentiles()
 	for i, v := range grid {
-		if v == p {
+		if stats.ApproxEqual(v, p) {
 			return i
 		}
 	}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// wallClockFuncs are the package time functions that read or wait on the
+// real clock. Pure conversions and constants (time.Duration, time.Second,
+// time.Unix, Duration arithmetic) are fine everywhere — simulated time is
+// itself carried as time.Duration.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// AnalyzerClockDiscipline enforces the simulated/wall clock boundary. The
+// policy is default-deny: only packages on the Config.ClockAllowed list
+// (the real-socket framework, the monitor, and the binaries) may call the
+// wall-clock functions; everything else — in particular every sim-path
+// package — must take time from the simulation engine's virtual clock.
+func AnalyzerClockDiscipline() *Analyzer {
+	return &Analyzer{
+		Name: "clockdiscipline",
+		Doc:  "simulated-time code must never read or wait on the wall clock",
+		Run:  runClockDiscipline,
+	}
+}
+
+func runClockDiscipline(pkg *Package, cfg *Config) []Diagnostic {
+	if cfg.IsClockAllowed(pkg.ImportPath) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, file := range pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if importedPackage(pkg.Info, sel.X) != "time" || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(sel.Pos()),
+				Analyzer: "clockdiscipline",
+				Message: fmt.Sprintf("wall-clock call time.%s in %s: simulated time must come from the engine's virtual clock (sim.Engine.Now / Schedule)",
+					sel.Sel.Name, pkg.ImportPath),
+			})
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,88 @@
+package lint
+
+import "strings"
+
+// Config classifies packages for the analyzers. The model is default-deny:
+// a package gets wall-clock access only when explicitly allowlisted, so a
+// freshly added package inherits the strict simulated-time discipline until
+// someone consciously decides otherwise.
+type Config struct {
+	// SimPath lists import paths under the determinism contract: no
+	// global math/rand, no nondeterministically seeded RNG construction,
+	// no wall-clock calls. Entries are exact import paths.
+	SimPath []string
+
+	// ClockAllowed lists import paths that may legitimately touch the
+	// wall clock: the real-socket measurement framework and binaries.
+	// Entries ending in "/..." allow a whole subtree.
+	ClockAllowed []string
+}
+
+// DefaultConfig returns the project policy.
+//
+// The sim-path set covers every package on the simulated side of the clock
+// boundary described in DESIGN.md: the engine itself, the queueing network,
+// workload generation, the cloud/attack/defense models, the analytical
+// model, statistics kernels, figure pipelines, and the orchestration layer
+// that wires them (core and the memca facade).
+//
+// The clock-allowed set covers the packages that measure or interact with
+// the real world: the memcached-protocol framework and victim daemon that
+// drive real sockets, the resource monitor, and every binary under cmd/
+// and examples/.
+func DefaultConfig() *Config {
+	return &Config{
+		SimPath: []string{
+			"memca",
+			"memca/internal/analytical",
+			"memca/internal/attack",
+			"memca/internal/cloud",
+			"memca/internal/control",
+			"memca/internal/core",
+			"memca/internal/defense",
+			"memca/internal/figures",
+			"memca/internal/memmodel",
+			"memca/internal/queueing",
+			"memca/internal/sim",
+			"memca/internal/stats",
+			"memca/internal/trace",
+			"memca/internal/workload",
+		},
+		ClockAllowed: []string{
+			"memca/internal/memcafw",
+			"memca/internal/victimd",
+			"memca/internal/monitor",
+			"memca/cmd/...",
+			"memca/examples/...",
+		},
+	}
+}
+
+// IsSimPath reports whether the package is under the determinism contract.
+func (c *Config) IsSimPath(importPath string) bool {
+	for _, p := range c.SimPath {
+		if matchPattern(p, importPath) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsClockAllowed reports whether the package may use the wall clock.
+func (c *Config) IsClockAllowed(importPath string) bool {
+	for _, p := range c.ClockAllowed {
+		if matchPattern(p, importPath) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchPattern matches an exact import path, or a subtree when the pattern
+// ends in "/...". The "/..." form also matches the subtree root itself.
+func matchPattern(pattern, path string) bool {
+	if prefix, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return path == prefix || strings.HasPrefix(path, prefix+"/")
+	}
+	return pattern == path
+}

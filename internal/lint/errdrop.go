@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerErrDrop flags statements that call a function returning an error
+// and silently drop the result: bare expression statements, `go` and
+// `defer` statements. An explicit `_ =` assignment is visible in review and
+// is not flagged — but fixes in this tree should prefer handling the error
+// (see ISSUE 1); the analyzer exists to stop the *silent* kind.
+//
+// Calls that cannot usefully fail are exempt: the fmt print family writing
+// to stdout/stderr, and writes to in-memory sinks (strings.Builder,
+// bytes.Buffer) whose error results are documented to always be nil.
+func AnalyzerErrDrop() *Analyzer {
+	return &Analyzer{
+		Name: "errdrop",
+		Doc:  "no silently discarded error return values in non-test code",
+		Run:  runErrDrop,
+	}
+}
+
+func runErrDrop(pkg *Package, cfg *Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+				how = "call"
+			case *ast.GoStmt:
+				call, how = s.Call, "go statement"
+			case *ast.DeferStmt:
+				call, how = s.Call, "defer"
+			}
+			if call == nil || !returnsError(pkg.Info, call) || exemptCall(pkg.Info, call) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(call.Pos()),
+				Analyzer: "errdrop",
+				Message:  fmt.Sprintf("%s discards error result of %s", how, callName(pkg.Info, call)),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// returnsError reports whether the call yields an error, alone or as part
+// of a result tuple.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}
+
+// exemptCall reports whether the dropped error is conventionally ignorable.
+func exemptCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	// fmt.Print/Printf/Println to stdout; fmt.Fprint* to stderr/stdout
+	// or an in-memory sink.
+	if importedPackage(info, sel.X) == "fmt" {
+		switch {
+		case name == "Print" || name == "Printf" || name == "Println":
+			return true
+		case strings.HasPrefix(name, "Fprint") && len(call.Args) > 0:
+			return stdStream(info, call.Args[0]) || memorySink(info.TypeOf(call.Args[0]))
+		}
+		return false
+	}
+	// Writes on strings.Builder / bytes.Buffer never return a non-nil error.
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		return memorySink(s.Recv())
+	}
+	return false
+}
+
+// stdStream reports whether the expression is os.Stdout or os.Stderr.
+func stdStream(info *types.Info, x ast.Expr) bool {
+	sel, ok := x.(*ast.SelectorExpr)
+	if !ok || importedPackage(info, sel.X) != "os" {
+		return false
+	}
+	return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+}
+
+// memorySink reports whether t is (a pointer to) strings.Builder or
+// bytes.Buffer.
+func memorySink(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch types.TypeString(t, nil) {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// callName renders the callee for diagnostics (pkg.Func or recv.Method).
+func callName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "function"
+}

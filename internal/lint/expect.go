@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// expectation is one `// want "rx"` annotation in a golden file.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+// CheckExpectations compares diagnostics against the `// want` annotations
+// in the given golden files. A line may carry several quoted patterns:
+//
+//	rand.Intn(6) // want `global rand\.Intn` "injected"
+//
+// Every diagnostic on an annotated line must match one pattern and every
+// pattern must match one diagnostic; diagnostics on unannotated lines are
+// failures. The returned slice lists every mismatch, empty when clean.
+func CheckExpectations(files []string, diags []Diagnostic) ([]string, error) {
+	var expects []*expectation
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			quoted := quotedRe.FindAllString(m[1], -1)
+			if len(quoted) == 0 {
+				return nil, fmt.Errorf("%s:%d: malformed want comment: %s", file, i+1, line)
+			}
+			for _, q := range quoted {
+				var pat string
+				if strings.HasPrefix(q, "`") {
+					pat = strings.Trim(q, "`")
+				} else {
+					pat, err = strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad pattern %s: %v", file, i+1, q, err)
+					}
+				}
+				rx, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad regexp %q: %v", file, i+1, pat, err)
+				}
+				expects = append(expects, &expectation{file: file, line: i + 1, pattern: rx})
+			}
+		}
+	}
+
+	var problems []string
+	for _, d := range diags {
+		found := false
+		for _, e := range expects {
+			if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.pattern.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic at %s", d))
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matched %q", e.file, e.line, e.pattern))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}

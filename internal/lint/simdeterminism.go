@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// randConstructors are the math/rand functions that build a new generator
+// or source. They are the sanctioned way to create the injected *rand.Rand
+// — but only from an explicit seed, so construction is confined to
+// functions that receive one (or that receive a generator/source to wrap).
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 additions.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// AnalyzerSimDeterminism enforces the determinism contract on sim-path
+// packages: every draw of randomness flows through an injected *rand.Rand
+// seeded from an explicit seed, never through the global math/rand source
+// or an ambient seed. Three things are flagged:
+//
+//   - any reference to a package-level math/rand function other than the
+//     constructors (rand.Intn, rand.Float64, rand.Shuffle, rand.Seed, ...),
+//     because those draw from the shared global source;
+//   - a constructor call (rand.New, rand.NewSource, ...) inside a function
+//     that does not itself receive a seed or a generator — an "un-injected"
+//     RNG whose seed is invisible to the caller;
+//   - importing crypto/rand, which is nondeterministic by design.
+func AnalyzerSimDeterminism() *Analyzer {
+	return &Analyzer{
+		Name: "simdeterminism",
+		Doc:  "sim-path packages must draw all randomness from an injected, explicitly seeded *rand.Rand",
+		Run:  runSimDeterminism,
+	}
+}
+
+func runSimDeterminism(pkg *Package, cfg *Config) []Diagnostic {
+	if !cfg.IsSimPath(pkg.ImportPath) {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(n.Pos()),
+			Analyzer: "simdeterminism",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, file := range pkg.Syntax {
+		for _, imp := range file.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "crypto/rand" {
+				report(imp, "import of crypto/rand in sim-path package %s: cryptographic randomness is not reproducible from a seed", pkg.ImportPath)
+			}
+		}
+		inspectWithStack(file, func(n ast.Node, stack []ast.Node) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			path := importedPackage(pkg.Info, sel.X)
+			if path != "math/rand" && path != "math/rand/v2" {
+				return
+			}
+			name := sel.Sel.Name
+			if !randConstructors[name] {
+				// Package-level types (rand.Rand, rand.Source) are fine;
+				// only function and variable references draw randomness.
+				if obj := pkg.Info.Uses[sel.Sel]; obj != nil {
+					if _, isType := obj.(*types.TypeName); isType {
+						return
+					}
+				}
+				report(sel, "use of global rand.%s: draw from the injected *rand.Rand instead", name)
+				return
+			}
+			if !seededScope(pkg.Info, stack) {
+				report(sel, "rand.%s outside a seed-accepting function: construct generators only from an explicit seed parameter so runs are reproducible", name)
+			}
+		})
+	}
+	return diags
+}
+
+// seededScope reports whether the innermost enclosing function receives the
+// seed explicitly: an int64/uint64 seed parameter, a *rand.Rand, or a
+// rand.Source. Package-level initializers and parameterless helpers do not
+// qualify — their seed would be ambient and invisible to callers.
+func seededScope(info *types.Info, stack []ast.Node) bool {
+	ft := enclosingFuncType(stack)
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		t := info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		switch types.TypeString(t, nil) {
+		case "int64", "uint64",
+			"*math/rand.Rand", "math/rand.Source", "math/rand.Source64",
+			"*math/rand/v2.Rand", "math/rand/v2.Source":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+// Package clock is a golden file for the clockdiscipline analyzer: the
+// test config does not allowlist it, so every wall-clock read or wait must
+// be reported, while pure time.Duration arithmetic stays legal.
+package clock
+
+import "time"
+
+var start = time.Now() // want `wall-clock call time\.Now`
+
+const day = 24 * time.Hour
+
+func wait() {
+	time.Sleep(time.Millisecond) // want `wall-clock call time\.Sleep`
+}
+
+func since(t time.Time) time.Duration {
+	return time.Since(t) // want `wall-clock call time\.Since`
+}
+
+func timeout() {
+	_ = time.After(time.Second) // want `wall-clock call time\.After`
+}
+
+func ticker() {
+	t := time.NewTicker(time.Second) // want `wall-clock call time\.NewTicker`
+	t.Stop()
+}
+
+// Virtual-time arithmetic on time.Duration is the simulated clock's own
+// currency and must stay permitted.
+func span(d time.Duration) time.Duration { return d*2 + time.Millisecond }
+
+// Explicit construction from components does not read the clock.
+func epoch() time.Time { return time.Unix(0, 0) }

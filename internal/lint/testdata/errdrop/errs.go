@@ -1,0 +1,47 @@
+// Package errs is a golden file for the errdrop analyzer.
+package errs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func drop() {
+	fallible()       // want `call discards error result of fallible`
+	pair()           // want `call discards error result of pair`
+	go fallible()    // want `go statement discards error result of fallible`
+	defer fallible() // want `defer discards error result of fallible`
+
+	// An explicit blank assignment is visible in review: not flagged.
+	_ = fallible()
+	if err := fallible(); err != nil {
+		panic(err)
+	}
+}
+
+func closer(f *os.File) {
+	defer f.Close() // want `defer discards error result of f\.Close`
+}
+
+func prints(f *os.File) {
+	fmt.Println("to stdout")        // exempt
+	fmt.Fprintf(os.Stderr, "diag")  // exempt
+	fmt.Fprintln(os.Stdout, "diag") // exempt
+
+	fmt.Fprintf(f, "payload") // want `call discards error result of fmt\.Fprintf`
+
+	var sb strings.Builder
+	sb.WriteString("x") // exempt: in-memory sink
+	fmt.Fprintf(&sb, "x")
+
+	var buf bytes.Buffer
+	buf.WriteByte('x')
+	fmt.Fprintln(&buf, "x")
+	_ = sb.String() + buf.String()
+}

@@ -1,0 +1,28 @@
+// Package floats is a golden file for the floatcompare analyzer.
+package floats
+
+type fraction float64
+
+func equal(a, b float64) bool { return a == b } // want `exact float comparison \(==\)`
+
+func notEqual(a, b float64) bool { return a != b } // want `exact float comparison \(!=\)`
+
+func f32(a, b float32) bool { return a != b } // want `exact float comparison \(!=\)`
+
+// Named types with a float underlying type are still float comparisons.
+func named(a, b fraction) bool { return a == b } // want `exact float comparison \(==\)`
+
+// Comparing against a non-zero constant is as fragile as variable-variable.
+func lit(x float64) bool { return x == 0.25 } // want `exact float comparison \(==\)`
+
+// Exact-zero guards are exempt: zero is exactly representable and these
+// test "was this ever set", not numerical closeness.
+func zeroGuard(x float64) bool { return x == 0 }
+
+func zeroGuardFlipped(x float64) bool { return 0.0 != x }
+
+// Constant folding happens in exact arithmetic.
+const exactlyEqual = 1.5 == 1.5
+
+// Integer comparisons are not this analyzer's business.
+func ints(a, b int) bool { return a == b }

@@ -1,0 +1,46 @@
+// Package simdet is a golden file for the simdeterminism analyzer: it is
+// treated as a sim-path package by the test config, so every draw from the
+// global math/rand source and every un-injected generator construction
+// must be reported.
+package simdet
+
+import (
+	crand "crypto/rand" // want `import of crypto/rand`
+	"math/rand"
+)
+
+// Package-level initializers have no seed parameter in scope.
+var global = rand.Intn(6) // want `global rand\.Intn`
+
+var pkgRNG = rand.New(rand.NewSource(1)) // want `rand\.New outside a seed-accepting function` `rand\.NewSource outside a seed-accepting function`
+
+// A function value reference draws from the global source just like a call.
+var pick = rand.Float64 // want `global rand\.Float64`
+
+// Type references are not draws.
+var _ rand.Source
+
+// roll draws from an injected generator: the sanctioned pattern.
+func roll(rng *rand.Rand) int { return rng.Intn(6) }
+
+// seeded constructs a generator from an explicit seed: allowed.
+func seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// wrap receives a source, so construction is still caller-controlled.
+func wrap(src rand.Source) *rand.Rand { return rand.New(src) }
+
+// unseeded hides a constant seed from its caller: reproducible but
+// un-injectable, and one refactor away from time.Now().UnixNano().
+func unseeded() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `rand\.New outside a seed-accepting function` `rand\.NewSource outside a seed-accepting function`
+}
+
+// shuffle uses the global source through a helper.
+func shuffle(n int) {
+	rand.Shuffle(n, func(i, j int) {}) // want `global rand\.Shuffle`
+}
+
+func cryptoRead() {
+	buf := make([]byte, 8)
+	_, _ = crand.Read(buf)
+}

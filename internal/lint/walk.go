@@ -1,0 +1,34 @@
+package lint
+
+import "go/ast"
+
+// inspectWithStack walks the file in depth-first order, invoking fn for
+// every node with the stack of enclosing nodes (outermost first, excluding
+// the node itself).
+func inspectWithStack(file *ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// enclosingFuncType returns the type of the innermost function declaration
+// or literal on the stack, or nil at package scope (e.g. a package-level
+// variable initializer).
+func enclosingFuncType(stack []ast.Node) *ast.FuncType {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Type
+		case *ast.FuncLit:
+			return f.Type
+		}
+	}
+	return nil
+}

@@ -374,8 +374,13 @@ func (h *Host) Allocate() Allocation {
 		// Max-min fair: satisfy the smallest demands first, then split
 		// what is left evenly among the still-unsatisfied.
 		sort.Slice(ds, func(i, j int) bool {
-			if ds[i].demand != ds[j].demand {
-				return ds[i].demand < ds[j].demand
+			// Strict < both ways keeps the exact tie-break semantics
+			// without an exact float equality.
+			if ds[i].demand < ds[j].demand {
+				return true
+			}
+			if ds[j].demand < ds[i].demand {
+				return false
 			}
 			return ds[i].vm.ID < ds[j].vm.ID
 		})

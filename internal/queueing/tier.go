@@ -179,7 +179,7 @@ func (t *tier) setMultiplier(m float64) {
 	if m < 0 {
 		m = 0
 	}
-	if m == t.mult {
+	if stats.ApproxEqual(m, t.mult) {
 		return
 	}
 	t.reconcile(func() { t.mult = m })
@@ -191,7 +191,7 @@ func (t *tier) setScale(s float64) {
 	if s < 0 {
 		s = 0
 	}
-	if s == t.scale {
+	if stats.ApproxEqual(s, t.scale) {
 		return
 	}
 	t.reconcile(func() { t.scale = s })

@@ -23,7 +23,7 @@ func NewLevelIntegrator() *LevelIntegrator {
 // Set records the level at time t. Times must be non-decreasing; setting
 // the same level again is a no-op.
 func (li *LevelIntegrator) Set(t time.Duration, level float64) {
-	if level == li.level {
+	if ApproxEqual(level, li.level) {
 		return
 	}
 	li.integral += li.level * (t - li.lastChange).Seconds()

@@ -216,8 +216,13 @@ func (t *Tier) handleCapacity(w http.ResponseWriter, r *http.Request) {
 }
 
 func (t *Tier) handleStats(w http.ResponseWriter, _ *http.Request) {
-	fmt.Fprintf(w, `{"name":%q,"served":%d,"rejected":%d,"slowdown_permille":%d}`+"\n",
+	body := fmt.Sprintf(`{"name":%q,"served":%d,"rejected":%d,"slowdown_permille":%d}`+"\n",
 		t.cfg.Name, t.served.Load(), t.rejected.Load(), t.slowdown.Load())
+	if _, err := io.WriteString(w, body); err != nil {
+		// The client disconnected mid-response; the connection is gone,
+		// so there is nobody left to report the failure to.
+		return
+	}
 }
 
 // System is a running 3-tier chain.
