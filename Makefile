@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench figures quick-figures demo clean
+.PHONY: all build vet lint test race equivalence fuzz bench figures quick-figures demo clean
 
 all: build vet lint test
 
@@ -20,6 +20,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=5 ./internal/sweep
+
+# Parallel-vs-serial determinism proof: every sweep-converted driver and
+# the replication helper must produce identical results and byte-identical
+# CSV artifacts for workers 1, 4, and 8 (quick horizons).
+equivalence:
+	$(GO) test -run 'TestSweepWorkerEquivalence|TestSweepProgressTotals|TestReplicateWorkerEquivalence' -v ./internal/figures ./internal/core
+
+# Short fuzz pass over the file-facing config schema (seed corpus is
+# checked in under internal/core/testdata/fuzz).
+fuzz:
+	$(GO) test -run FuzzConfigJSON -fuzz FuzzConfigJSON -fuzztime 30s ./internal/core
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .

@@ -10,6 +10,8 @@
 package memca_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -226,6 +228,32 @@ func BenchmarkJitterEvasion(b *testing.B) {
 		first, last := res.Points[0], res.Points[len(res.Points)-1]
 		b.ReportMetric(first.Periodicity, "periodicity-j0")
 		b.ReportMetric(last.Periodicity, "periodicity-j75")
+	}
+}
+
+// BenchmarkReplicateWorkers measures the sweep engine's wall-clock
+// scaling: 8 independent replications of a 30-second experiment at 1
+// worker (the serial path) versus 4. The replication set is identical in
+// both cases — only the wall clock should move. Compare with:
+//
+//	go test -bench BenchmarkReplicateWorkers -benchtime 3x .
+func BenchmarkReplicateWorkers(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := memca.DefaultConfig()
+			cfg.Clients = 1200
+			cfg.Duration = 30 * time.Second
+			cfg.Warmup = 10 * time.Second
+			for i := 0; i < b.N; i++ {
+				reps, err := memca.Replicate(context.Background(), cfg, 8, memca.ReplicateOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(reps) != 8 {
+					b.Fatalf("got %d replications, want 8", len(reps))
+				}
+			}
+		})
 	}
 }
 

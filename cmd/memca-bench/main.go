@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"memca/internal/figures"
@@ -29,14 +30,18 @@ func main() {
 
 func run() error {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 2, 3, 6, 7, 8, 9, 10, 11, table1, ablations, defense, evasion, detectors, crowd, all")
-		out   = flag.String("out", "out", "output directory for CSV artifacts")
-		quick = flag.Bool("quick", false, "shorter horizons for a smoke run")
-		seed  = flag.Int64("seed", 1, "simulation seed")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2, 3, 6, 7, 8, 9, 10, 11, table1, ablations, defense, evasion, detectors, crowd, all")
+		out      = flag.String("out", "out", "output directory for CSV artifacts")
+		quick    = flag.Bool("quick", false, "shorter horizons for a smoke run")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "worker count for a driver's independent runs (1 = serial; artifacts are identical either way)")
 	)
 	flag.Parse()
 
-	opts := figures.Options{OutDir: *out, Quick: *quick, Seed: *seed}
+	opts := figures.Options{OutDir: *out, Quick: *quick, Seed: *seed, Parallel: *parallel}
+	opts.Progress = func(done, total int) {
+		fmt.Fprintf(os.Stderr, "    run %d/%d\n", done, total)
+	}
 	targets := map[string]func(figures.Options) error{
 		"2":         runFig2,
 		"3":         runFig3,

@@ -13,12 +13,15 @@
 //	memca-sim -feedback                        # Kalman-controlled attack
 //	memca-sim -scaling -duration 5m            # with a live auto-scaling group attached
 //	memca-sim -json report.json                # also write the machine-readable report
+//	memca-sim -runs 8 -parallel 4              # 8 replications with derived seeds, 4 workers
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"memca"
@@ -49,6 +52,8 @@ func run() error {
 		scaling    = flag.Bool("scaling", false, "attach a live auto-scaling group to MySQL")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		jsonOut    = flag.String("json", "", "write the report as JSON to this path")
+		runs       = flag.Int("runs", 1, "independent replications with deterministically derived seeds")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker count when -runs > 1 (1 = serial; results are identical either way)")
 	)
 	flag.Parse()
 
@@ -57,7 +62,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return execute(cfg, *jsonOut)
+		return execute(cfg, *jsonOut, *runs, *parallel)
 	}
 
 	cfg := memca.DefaultConfig()
@@ -101,11 +106,15 @@ func run() error {
 		cfg.Scaling = &memca.ScalingSpec{Trigger: memca.DefaultAutoScaler(), MaxInstances: 4}
 	}
 
-	return execute(cfg, *jsonOut)
+	return execute(cfg, *jsonOut, *runs, *parallel)
 }
 
-// execute runs one configured experiment and prints/writes the report.
-func execute(cfg memca.Config, jsonOut string) error {
+// execute runs one configured experiment (or several replications of it)
+// and prints/writes the report(s).
+func execute(cfg memca.Config, jsonOut string, runs, parallel int) error {
+	if runs > 1 {
+		return executeReplicated(cfg, jsonOut, runs, parallel)
+	}
 	x, err := memca.NewExperiment(cfg)
 	if err != nil {
 		return err
@@ -123,6 +132,50 @@ func execute(cfg memca.Config, jsonOut string) error {
 			return err
 		}
 		fmt.Printf("report written to %s\n", jsonOut)
+	}
+	return nil
+}
+
+// executeReplicated fans `runs` replications with derived seeds over up
+// to `parallel` workers and prints one summary line per replication.
+func executeReplicated(cfg memca.Config, jsonOut string, runs, parallel int) error {
+	fmt.Printf("running %v for %v (%d clients, warmup %v), %d replications, %d workers...\n",
+		cfg.Env, cfg.Duration, cfg.Clients, cfg.Warmup, runs, parallel)
+	start := time.Now()
+	opts := memca.ReplicateOptions{
+		Workers: parallel,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "  replication %d/%d done\n", done, total)
+		},
+	}
+	reps, err := memca.Replicate(context.Background(), cfg, runs, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("done in %v (wall clock)\n\n", time.Since(start).Round(time.Millisecond))
+	var minP95, maxP95, sumP95 time.Duration
+	for i, r := range reps {
+		p95 := r.Report.Client.P95
+		if i == 0 || p95 < minP95 {
+			minP95 = p95
+		}
+		if p95 > maxP95 {
+			maxP95 = p95
+		}
+		sumP95 += p95
+		fmt.Printf("run %2d  seed=%-20d client p95=%-10v p99=%-10v drops=%d\n",
+			r.Index, r.Seed, p95.Round(time.Millisecond),
+			r.Report.Client.P99.Round(time.Millisecond), r.Report.Drops)
+	}
+	fmt.Printf("\nclient p95 over %d runs: min=%v mean=%v max=%v\n",
+		len(reps), minP95.Round(time.Millisecond),
+		(sumP95 / time.Duration(len(reps))).Round(time.Millisecond),
+		maxP95.Round(time.Millisecond))
+	if jsonOut != "" {
+		if err := trace.WriteJSON(jsonOut, reps); err != nil {
+			return err
+		}
+		fmt.Printf("replications written to %s\n", jsonOut)
 	}
 	return nil
 }

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzConfigJSON drives arbitrary bytes through the file-facing config
+// pipeline: JSON decoding, schema conversion, and validation. The
+// invariants are (1) no input panics, and (2) every config the pipeline
+// accepts passes Validate — ToConfig must never hand the experiment a
+// configuration Validate would reject.
+func FuzzConfigJSON(f *testing.F) {
+	// Seed with the shipped example configs plus targeted schema corners.
+	for _, name := range []string{"defended.json", "feedback-attack.json", "paper-default.json"} {
+		if data, err := os.ReadFile(filepath.Join("..", "..", "configs", name)); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"seed":-1,"env":"private","clients":1}`))
+	f.Add([]byte(`{"duration":"0s","warmup":"-5s"}`))
+	f.Add([]byte(`{"env":"azure"}`))
+	f.Add([]byte(`{"attack":{"kind":"saturation","intensity":2.5,"burst_length":"1h","interval":"1ns","adversary_vms":-3}}`))
+	f.Add([]byte(`{"attack":{"kind":"lock","burst_length":"bogus"}}`))
+	f.Add([]byte(`{"feedback":{"target_p95":"10s","decision_every":"0s"}}`))
+	f.Add([]byte(`{"scaling":{"threshold":-0.5,"max_instances":0}}`))
+	f.Add([]byte(`{"defense":{"split_lock_protection":true,"victim_reservation_mbps":-1}}`))
+	f.Add([]byte(`{"llc_sample_period":"50ms","record_series":true}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var j ConfigJSON
+		if err := json.Unmarshal(data, &j); err != nil {
+			return // not JSON: out of scope
+		}
+		cfg, err := j.ToConfig()
+		if err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Errorf("ToConfig accepted %q but Validate rejects the result: %v", data, verr)
+		}
+	})
+}

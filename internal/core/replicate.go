@@ -1,0 +1,50 @@
+package core
+
+import (
+	"context"
+
+	"memca/internal/sweep"
+)
+
+// Replication is one independent repetition of an experiment.
+type Replication struct {
+	// Index is the replication number, 0-based.
+	Index int
+	// Seed is the derived seed the run used (sweep.DeriveSeed of the
+	// base configuration seed and Index).
+	Seed int64
+	// Report is the run's outcome.
+	Report *Report
+}
+
+// ReplicateOptions control parallel replication.
+type ReplicateOptions struct {
+	// Workers bounds the worker count: 0 means one per available CPU,
+	// 1 forces the serial path. Results are identical for every value.
+	Workers int
+	// Progress, when non-nil, is called after each completed run with
+	// (completed, total) counts.
+	Progress func(done, total int)
+}
+
+// Replicate runs the experiment described by cfg `runs` times with
+// deterministically derived per-run seeds and returns the replications in
+// index order. Replication i always uses sweep.DeriveSeed(cfg.Seed, i),
+// so the result set is a pure function of (cfg, runs) — independent of
+// worker count and stable across processes.
+func Replicate(ctx context.Context, cfg Config, runs int, opts ReplicateOptions) ([]Replication, error) {
+	sweepOpts := sweep.Options{Workers: opts.Workers, Progress: opts.Progress}
+	return sweep.Run(ctx, sweepOpts, runs, func(_ context.Context, i int) (Replication, error) {
+		runCfg := cfg
+		runCfg.Seed = sweep.DeriveSeed(cfg.Seed, i)
+		x, err := NewExperiment(runCfg)
+		if err != nil {
+			return Replication{}, err
+		}
+		rep, err := x.Run()
+		if err != nil {
+			return Replication{}, err
+		}
+		return Replication{Index: i, Seed: runCfg.Seed, Report: rep}, nil
+	})
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"memca/internal/sweep"
+)
+
+// reportFingerprint serializes a report for equality checks. JSON (not
+// %#v) because Report holds pointers whose addresses are not stable.
+func reportFingerprint(t *testing.T, r *Report) string {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshaling report: %v", err)
+	}
+	return string(data)
+}
+
+// replicateConfig returns a small, fast experiment for replication tests.
+func replicateConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	cfg.Clients = 400
+	cfg.Duration = 25 * time.Second
+	cfg.Warmup = 5 * time.Second
+	return cfg
+}
+
+// TestReplicateWorkerEquivalence pins that the replication set is a pure
+// function of (config, runs): every worker count produces identical
+// reports in identical order.
+func TestReplicateWorkerEquivalence(t *testing.T) {
+	cfg := replicateConfig()
+	const runs = 5
+	var ref []string
+	for _, workers := range []int{1, 4, 8} {
+		reps, err := Replicate(context.Background(), cfg, runs, ReplicateOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("Replicate with %d workers: %v", workers, err)
+		}
+		if len(reps) != runs {
+			t.Fatalf("Replicate with %d workers returned %d replications, want %d", workers, len(reps), runs)
+		}
+		prints := make([]string, runs)
+		for i, r := range reps {
+			if r.Index != i {
+				t.Errorf("replication %d has Index %d", i, r.Index)
+			}
+			if want := sweep.DeriveSeed(cfg.Seed, i); r.Seed != want {
+				t.Errorf("replication %d has seed %d, want DeriveSeed = %d", i, r.Seed, want)
+			}
+			prints[i] = reportFingerprint(t, r.Report)
+		}
+		if ref == nil {
+			ref = prints
+			continue
+		}
+		for i := range prints {
+			if prints[i] != ref[i] {
+				t.Errorf("replication %d differs between 1 and %d workers", i, workers)
+			}
+		}
+	}
+}
+
+// TestReplicateDistinctSeeds pins that replications actually differ: the
+// derived seeds must produce distinct reports, or the replication set
+// carries no statistical information.
+func TestReplicateDistinctSeeds(t *testing.T) {
+	cfg := replicateConfig()
+	reps, err := Replicate(context.Background(), cfg, 3, ReplicateOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("Replicate: %v", err)
+	}
+	seen := make(map[string]int)
+	for i, r := range reps {
+		print := reportFingerprint(t, r.Report)
+		if j, dup := seen[print]; dup {
+			t.Errorf("replications %d and %d produced byte-identical reports; derived seeds are not flowing", j, i)
+		}
+		seen[print] = i
+	}
+}
+
+// TestReplicateInvalidConfig pins error propagation: a config that fails
+// validation surfaces the lowest run index.
+func TestReplicateInvalidConfig(t *testing.T) {
+	cfg := replicateConfig()
+	cfg.Clients = -1
+	_, err := Replicate(context.Background(), cfg, 4, ReplicateOptions{Workers: 4})
+	if err == nil {
+		t.Fatal("Replicate accepted an invalid config")
+	}
+}
+
+// TestReplicateCancellation pins that a canceled context aborts the
+// replication set with the context's error.
+func TestReplicateCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Replicate(ctx, replicateConfig(), 4, ReplicateOptions{Workers: 2})
+	if err == nil {
+		t.Fatal("Replicate ignored a canceled context")
+	}
+}

@@ -70,22 +70,38 @@ func runAttackVariant(opts Options, label string, mutate func(*core.Config)) (Ab
 	return p, nil
 }
 
+// attackVariant is one cell of a closed-loop ablation sweep.
+type attackVariant struct {
+	label  string
+	mutate func(*core.Config)
+}
+
+// runAttackVariants fans a sweep's independent experiment runs over the
+// sweep engine; points come back in variant order.
+func runAttackVariants(opts Options, variants []attackVariant) ([]AblationPoint, error) {
+	return runJobs(opts, len(variants), func(i int) (AblationPoint, error) {
+		return runAttackVariant(opts, variants[i].label, variants[i].mutate)
+	})
+}
+
 // AblationBurstLength sweeps the burst length L at fixed I = 2 s: the
 // damage-vs-stealth trade-off of Equations (7) and (10). Short bursts
 // never complete the build-up stage (no damage); long bursts raise the
 // coarse utilization toward detectability.
 func AblationBurstLength(opts Options) (*AblationResult, error) {
 	res := &AblationResult{Name: "burst-length"}
+	var variants []attackVariant
 	for _, l := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 350 * time.Millisecond, 500 * time.Millisecond, 800 * time.Millisecond} {
 		l := l
-		p, err := runAttackVariant(opts, fmt.Sprintf("L=%v", l), func(c *core.Config) {
+		variants = append(variants, attackVariant{fmt.Sprintf("L=%v", l), func(c *core.Config) {
 			c.Attack.Params.BurstLength = l
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, p)
+		}})
 	}
+	points, err := runAttackVariants(opts, variants)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = points
 	return res, writeAblation(opts, "ablation_burst_length.csv", res)
 }
 
@@ -93,16 +109,18 @@ func AblationBurstLength(opts Options) (*AblationResult, error) {
 // frequency axis of Equation (8), ρ = P_D / I.
 func AblationInterval(opts Options) (*AblationResult, error) {
 	res := &AblationResult{Name: "interval"}
+	var variants []attackVariant
 	for _, iv := range []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second} {
 		iv := iv
-		p, err := runAttackVariant(opts, fmt.Sprintf("I=%v", iv), func(c *core.Config) {
+		variants = append(variants, attackVariant{fmt.Sprintf("I=%v", iv), func(c *core.Config) {
 			c.Attack.Params.Interval = iv
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, p)
+		}})
 	}
+	points, err := runAttackVariants(opts, variants)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = points
 	return res, writeAblation(opts, "ablation_interval.csv", res)
 }
 
@@ -137,7 +155,8 @@ func AblationMechanisms(opts Options) (*AblationResult, error) {
 		{"no-slot-holding", queueing.ModeTandem, true, false},
 	}
 	m := rubbosModelLimits()
-	for _, v := range variants {
+	points, err := runJobs(opts, len(variants), func(i int) (AblationPoint, error) {
+		v := variants[i]
 		limits := m
 		if v.infinite {
 			limits = [3]int{queueing.Infinite, queueing.Infinite, queueing.Infinite}
@@ -145,15 +164,19 @@ func AblationMechanisms(opts Options) (*AblationResult, error) {
 		e := sim.NewEngine(opts.Seed)
 		n, sources, err := buildModelNetwork(e, v.mode, limits, v.retransmit)
 		if err != nil {
-			return nil, fmt.Errorf("figures: ablation %s: %w", v.label, err)
+			return AblationPoint{}, fmt.Errorf("figures: ablation %s: %w", v.label, err)
 		}
 		point, err := runModelAttack(e, n, sources, d, params, horizon)
 		if err != nil {
-			return nil, fmt.Errorf("figures: ablation %s: %w", v.label, err)
+			return AblationPoint{}, fmt.Errorf("figures: ablation %s: %w", v.label, err)
 		}
 		point.Label = v.label
-		res.Points = append(res.Points, point)
+		return point, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Points = points
 	return res, writeAblation(opts, "ablation_mechanisms.csv", res)
 }
 
@@ -162,27 +185,25 @@ func AblationMechanisms(opts Options) (*AblationResult, error) {
 // paper's point; saturation needs many to bite).
 func AblationAdversaries(opts Options) (*AblationResult, error) {
 	res := &AblationResult{Name: "adversaries"}
+	var variants []attackVariant
 	for _, k := range []int{1, 2, 4} {
 		k := k
-		p, err := runAttackVariant(opts, fmt.Sprintf("lock-x%d", k), func(c *core.Config) {
+		variants = append(variants, attackVariant{fmt.Sprintf("lock-x%d", k), func(c *core.Config) {
 			c.Attack.AdversaryVMs = k
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, p)
+		}})
 	}
 	for _, k := range []int{1, 4} {
 		k := k
-		p, err := runAttackVariant(opts, fmt.Sprintf("saturation-x%d", k), func(c *core.Config) {
+		variants = append(variants, attackVariant{fmt.Sprintf("saturation-x%d", k), func(c *core.Config) {
 			c.Attack.Kind = memmodel.AttackBusSaturation
 			c.Attack.AdversaryVMs = k
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, p)
+		}})
 	}
+	points, err := runAttackVariants(opts, variants)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = points
 	return res, writeAblation(opts, "ablation_adversaries.csv", res)
 }
 
@@ -191,16 +212,18 @@ func AblationAdversaries(opts Options) (*AblationResult, error) {
 // to overflow, so a lightly loaded system resists the same attack.
 func AblationLoad(opts Options) (*AblationResult, error) {
 	res := &AblationResult{Name: "load"}
+	var variants []attackVariant
 	for _, clients := range []int{875, 1750, 3500, 5000} {
 		clients := clients
-		p, err := runAttackVariant(opts, fmt.Sprintf("clients=%d", clients), func(c *core.Config) {
+		variants = append(variants, attackVariant{fmt.Sprintf("clients=%d", clients), func(c *core.Config) {
 			c.Clients = clients
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, p)
+		}})
 	}
+	points, err := runAttackVariants(opts, variants)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = points
 	return res, writeAblation(opts, "ablation_load.csv", res)
 }
 
@@ -222,21 +245,23 @@ func AblationServiceDistribution(opts Options) (*AblationResult, error) {
 		{"deterministic", func(m time.Duration) sim.Dist { return sim.NewDeterministic(m) }},
 	}
 	means := []time.Duration{600 * time.Microsecond, 1200 * time.Microsecond, 1600 * time.Microsecond}
+	cells := make([]attackVariant, 0, len(variants))
 	for _, v := range variants {
 		v := v
-		p, err := runAttackVariant(opts, v.label, func(c *core.Config) {
+		cells = append(cells, attackVariant{v.label, func(c *core.Config) {
 			tiers := make([]queueing.TierConfig, len(base))
 			copy(tiers, base)
 			for i := range tiers {
 				tiers[i].Service = v.make(means[i])
 			}
 			c.Tiers = tiers
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, p)
+		}})
 	}
+	points, err := runAttackVariants(opts, cells)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = points
 	return res, writeAblation(opts, "ablation_service_distribution.csv", res)
 }
 

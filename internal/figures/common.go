@@ -7,6 +7,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"memca/internal/queueing"
 	"memca/internal/sim"
 	"memca/internal/stats"
+	"memca/internal/sweep"
 	"memca/internal/trace"
 	"memca/internal/workload"
 )
@@ -27,6 +29,15 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomness.
 	Seed int64
+	// Parallel bounds the worker count for multi-run drivers: 0 means
+	// one worker per available CPU, 1 forces the serial path. Results
+	// and CSV artifacts are byte-identical for every value (see
+	// internal/sweep).
+	Parallel int
+	// Progress, when non-nil, is called after each independent run of a
+	// multi-run driver with (completed, total) counts. Completion order
+	// is nondeterministic under parallelism; this is a display hook.
+	Progress func(done, total int)
 }
 
 // DefaultOptions returns full-scale generation into out/.
@@ -44,6 +55,18 @@ func (o Options) duration(full time.Duration) time.Duration {
 		d = 20 * time.Second
 	}
 	return d
+}
+
+// runJobs fans one figure driver's independent runs out over the sweep
+// engine and returns the results in job-index order, which keeps every
+// scalar and CSV artifact byte-identical to the serial path regardless
+// of Options.Parallel. Jobs must be pure functions of their index: each
+// builds its own engine (or pure model) and shares no mutable state.
+func runJobs[T any](o Options, n int, job func(index int) (T, error)) ([]T, error) {
+	opts := sweep.Options{Workers: o.Parallel, Progress: o.Progress}
+	return sweep.Run(context.Background(), opts, n, func(_ context.Context, i int) (T, error) {
+		return job(i)
+	})
 }
 
 // path joins OutDir with name; it returns "" when output is disabled.

@@ -64,8 +64,12 @@ func DefenseEvaluation(opts Options) (*DefenseResult, error) {
 		{"bus-saturation", memmodel.AttackBusSaturation, "split-lock-protection", splitLock},
 	}
 
-	var undefendedLock *core.Experiment
-	for _, c := range cells {
+	type cellRun struct {
+		point DefensePoint
+		x     *core.Experiment
+	}
+	runs, err := runJobs(opts, len(cells), func(i int) (*cellRun, error) {
+		c := cells[i]
 		cfg := core.DefaultConfig()
 		cfg.Seed = opts.Seed
 		cfg.Duration = opts.duration(90 * time.Second)
@@ -83,15 +87,25 @@ func DefenseEvaluation(opts Options) (*DefenseResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("figures: defense %s/%s run: %w", c.attackName, c.defName, err)
 		}
-		res.Matrix = append(res.Matrix, DefensePoint{
-			Attack:       c.attackName,
-			Defense:      c.defName,
-			ClientP95:    rep.Client.P95,
-			DegradationD: rep.LastDegradation,
-			Mitigated:    rep.Client.P95 < time.Second,
-		})
+		return &cellRun{
+			point: DefensePoint{
+				Attack:       c.attackName,
+				Defense:      c.defName,
+				ClientP95:    rep.Client.P95,
+				DegradationD: rep.LastDegradation,
+				Mitigated:    rep.Client.P95 < time.Second,
+			},
+			x: x,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var undefendedLock *core.Experiment
+	for i, c := range cells {
+		res.Matrix = append(res.Matrix, runs[i].point)
 		if c.kind == memmodel.AttackMemoryLock && c.spec == nil {
-			undefendedLock = x
+			undefendedLock = runs[i].x
 		}
 	}
 

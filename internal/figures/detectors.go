@@ -33,7 +33,11 @@ type DetectorComparisonResult struct {
 // DetectorComparison runs the undefended attack and a clean baseline, and
 // evaluates each detector on the victim's CPU signal at 1 s and 50 ms.
 func DetectorComparison(opts Options) (*DetectorComparisonResult, error) {
-	run := func(withAttack bool) (monitor.UtilizationSource, time.Duration, error) {
+	type signal struct {
+		source  monitor.UtilizationSource
+		horizon time.Duration
+	}
+	run := func(withAttack bool) (*signal, error) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = opts.Seed
 		cfg.Duration = opts.duration(2 * time.Minute)
@@ -42,30 +46,40 @@ func DetectorComparison(opts Options) (*DetectorComparisonResult, error) {
 		}
 		x, err := core.NewExperiment(cfg)
 		if err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 		if _, err := x.Run(); err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 		busy, err := x.Network().TierBusy(2)
 		if err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 		warmup := cfg.Warmup
 		source := func(from, to time.Duration) float64 {
 			return busy.WindowAverage(warmup+from, warmup+to) / 2
 		}
-		return source, cfg.Duration, nil
+		return &signal{source: source, horizon: cfg.Duration}, nil
 	}
 
-	attacked, horizon, err := run(true)
+	// The attacked run and the clean baseline are independent simulations.
+	withAttack := []bool{true, false}
+	signals, err := runJobs(opts, len(withAttack), func(i int) (*signal, error) {
+		s, err := run(withAttack[i])
+		if err != nil {
+			label := "attack"
+			if !withAttack[i] {
+				label = "baseline"
+			}
+			return nil, fmt.Errorf("figures: detector comparison %s run: %w", label, err)
+		}
+		return s, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("figures: detector comparison attack run: %w", err)
+		return nil, err
 	}
-	clean, _, err := run(false)
-	if err != nil {
-		return nil, fmt.Errorf("figures: detector comparison baseline run: %w", err)
-	}
+	attacked, clean := signals[0].source, signals[1].source
+	horizon := signals[0].horizon
 
 	detectors := []monitor.Detector{
 		monitor.ThresholdDetector{Threshold: 0.9, MinConsecutive: 2},

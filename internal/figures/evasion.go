@@ -43,25 +43,26 @@ type EvasionResult struct {
 // versus detectability at each level.
 func JitterEvasion(opts Options) (*EvasionResult, error) {
 	res := &EvasionResult{}
-	for _, jitter := range []float64{0, 0.25, 0.5, 0.75} {
-		jitter := jitter
+	jitters := []float64{0, 0.25, 0.5, 0.75}
+	points, err := runJobs(opts, len(jitters), func(ji int) (EvasionPoint, error) {
+		jitter := jitters[ji]
 		cfg := core.DefaultConfig()
 		cfg.Seed = opts.Seed
 		cfg.Duration = opts.duration(2 * time.Minute)
 		cfg.Attack.Params.Jitter = jitter
 		x, err := core.NewExperiment(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("figures: evasion jitter=%v: %w", jitter, err)
+			return EvasionPoint{}, fmt.Errorf("figures: evasion jitter=%v: %w", jitter, err)
 		}
 		rep, err := x.Run()
 		if err != nil {
-			return nil, fmt.Errorf("figures: evasion jitter=%v run: %w", jitter, err)
+			return EvasionPoint{}, fmt.Errorf("figures: evasion jitter=%v run: %w", jitter, err)
 		}
 		point := EvasionPoint{Jitter: jitter, ClientP95: rep.Client.P95}
 
 		busy, err := x.Network().TierBusy(2)
 		if err != nil {
-			return nil, err
+			return EvasionPoint{}, err
 		}
 		source := func(from, to time.Duration) float64 {
 			return busy.WindowAverage(cfg.Warmup+from, cfg.Warmup+to) / 2
@@ -71,32 +72,36 @@ func JitterEvasion(opts Options) (*EvasionResult, error) {
 		// interval.
 		sampler, err := monitor.NewSampler("cpu", 50*time.Millisecond, source)
 		if err != nil {
-			return nil, err
+			return EvasionPoint{}, err
 		}
 		buckets, err := sampler.Collect(cfg.Duration)
 		if err != nil {
-			return nil, err
+			return EvasionPoint{}, err
 		}
 		lag := int(cfg.Attack.Params.Interval / (50 * time.Millisecond))
 		point.Periodicity, err = monitor.Periodicity(buckets, lag)
 		if err != nil {
-			return nil, err
+			return EvasionPoint{}, err
 		}
 
 		// Defense classifier verdict.
 		det, err := defense.NewDetector(defense.DefaultDetector())
 		if err != nil {
-			return nil, err
+			return EvasionPoint{}, err
 		}
 		episodes, err := det.Detect(source, cfg.Duration)
 		if err != nil {
-			return nil, err
+			return EvasionPoint{}, err
 		}
 		verdict := defense.Classify(episodes, 5)
 		point.Classified = verdict.PulsatingAttack
 		point.IntervalCV = verdict.IntervalCV
-		res.Points = append(res.Points, point)
+		return point, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Points = points
 
 	if path := opts.path("evasion_jitter.csv"); path != "" {
 		rows := make([][]string, 0, len(res.Points))

@@ -32,7 +32,9 @@ func Fig2(opts Options) (*Fig2Result, error) {
 		ClientP98:       make(map[string]time.Duration),
 		AmplificationOK: true,
 	}
-	for _, env := range []core.Env{core.EnvEC2, core.EnvPrivateCloud} {
+	envs := []core.Env{core.EnvEC2, core.EnvPrivateCloud}
+	reports, err := runJobs(opts, len(envs), func(i int) (*core.Report, error) {
+		env := envs[i]
 		cfg := core.DefaultConfig()
 		cfg.Seed = opts.Seed
 		cfg.Env = env
@@ -45,6 +47,13 @@ func Fig2(opts Options) (*Fig2Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("figures: fig2 %v run: %w", env, err)
 		}
+		return rep, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, env := range envs {
+		rep := reports[i]
 		res.ClientP95[env.String()] = rep.Client.P95
 		res.ClientP98[env.String()] = rep.Client.P98
 

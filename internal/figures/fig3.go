@@ -39,17 +39,23 @@ func Fig3(opts Options) (*Fig3Result, error) {
 		{memmodel.PlacementRandomPackage, memmodel.AttackBusSaturation},
 		{memmodel.PlacementRandomPackage, memmodel.AttackMemoryLock},
 	}
-	for _, v := range variants {
+	curves, err := runJobs(opts, len(variants), func(i int) ([]float64, error) {
+		v := variants[i]
 		points, err := memmodel.BandwidthSweep(cfg, maxVMs, v.placement, v.kind, 1.0)
 		if err != nil {
 			return nil, fmt.Errorf("figures: fig3 %v/%v: %w", v.placement, v.kind, err)
 		}
-		key := v.placement.String() + "/" + v.kind.String()
 		curve := make([]float64, 0, maxVMs)
 		for _, p := range points {
 			curve = append(curve, p.PerVMMBps)
 		}
-		res.Curves[key] = curve
+		return curve, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		res.Curves[v.placement.String()+"/"+v.kind.String()] = curves[i]
 	}
 
 	// Finding 1: one VM alone under bus-saturation placement does not

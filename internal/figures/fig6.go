@@ -117,22 +117,32 @@ func Fig6(opts Options) (*Fig6Result, error) {
 		return rr, nil
 	}
 
-	// Tandem baseline: infinite queues, work piles at the bottleneck.
-	tandem, err := run(queueing.ModeTandem, [3]int{queueing.Infinite, queueing.Infinite, queueing.Infinite})
-	if err != nil {
-		return nil, fmt.Errorf("figures: fig6 tandem: %w", err)
+	// Two independent models under the same attack: the tandem baseline
+	// (infinite queues, work piles at the bottleneck) and the paper's
+	// RPC model (finite descending queues, overflow propagates front).
+	variants := []struct {
+		name   string
+		mode   queueing.Mode
+		limits [3]int
+	}{
+		{"tandem", queueing.ModeTandem, [3]int{queueing.Infinite, queueing.Infinite, queueing.Infinite}},
+		{"rpc", queueing.ModeNTierRPC, limits},
 	}
+	runs, err := runJobs(opts, len(variants), func(i int) (*runResult, error) {
+		rr, err := run(variants[i].mode, variants[i].limits)
+		if err != nil {
+			return nil, fmt.Errorf("figures: fig6 %s: %w", variants[i].name, err)
+		}
+		return rr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tandem, rpc := runs[0], runs[1]
 	res.TandemMySQLMax = tandem.maxOcc[2]
 	res.TandemUpstreamMax = tandem.maxOcc[0]
 	if tandem.maxOcc[1] > res.TandemUpstreamMax {
 		res.TandemUpstreamMax = tandem.maxOcc[1]
-	}
-
-	// The paper's RPC model: finite descending queues, overflow
-	// propagates to the front.
-	rpc, err := run(queueing.ModeNTierRPC, limits)
-	if err != nil {
-		return nil, fmt.Errorf("figures: fig6 rpc: %w", err)
 	}
 	for i := 0; i < 3; i++ {
 		if rpc.fullAt[i] == 0 {

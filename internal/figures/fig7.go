@@ -62,7 +62,15 @@ func Fig7(opts Options) (*Fig7Result, error) {
 		{Fig7InfiniteFront, queueing.ModeNTierRPC, [3]int{queueing.Infinite, m.Tiers[1].Queue, m.Tiers[2].Queue}},
 		{Fig7Finite, queueing.ModeNTierRPC, [3]int{m.Tiers[0].Queue, m.Tiers[1].Queue, m.Tiers[2].Queue}},
 	}
-	for _, v := range variants {
+	// Each variant is an independent simulation; run them over the sweep
+	// engine, then summarize and write CSVs serially in variant order.
+	type caseRun struct {
+		curves map[string][]time.Duration
+		order  []string
+		result Fig7CaseResult
+	}
+	runs, err := runJobs(opts, len(variants), func(vi int) (*caseRun, error) {
+		v := variants[vi]
 		e := sim.NewEngine(opts.Seed)
 		n, sources, err := modelNetwork(e, v.mode, v.limits)
 		if err != nil {
@@ -98,31 +106,40 @@ func Fig7(opts Options) (*Fig7Result, error) {
 				client.Add(rt)
 			}
 		}
-		curves := map[string][]time.Duration{"client": client.PercentileCurve(fig7Percentiles)}
-		order := []string{"client"}
+		cr := &caseRun{
+			curves: map[string][]time.Duration{"client": client.PercentileCurve(fig7Percentiles)},
+			order:  []string{"client"},
+		}
 		for i, name := range rubbosTierNames() {
 			sample, err := n.TierRT(i)
 			if err != nil {
 				return nil, err
 			}
-			curves[name] = sample.PercentileCurve(fig7Percentiles)
-			order = append(order, name)
-		}
-		if err := writeCurves(opts.path(fmt.Sprintf("fig7_%s.csv", v.name)), fig7Percentiles, order, curves); err != nil {
-			return nil, err
+			cr.curves[name] = sample.PercentileCurve(fig7Percentiles)
+			cr.order = append(cr.order, name)
 		}
 
 		mysqlSample, err := n.TierRT(2)
 		if err != nil {
 			return nil, err
 		}
-		cr := Fig7CaseResult{
+		cr.result = Fig7CaseResult{
 			ClientP99: client.Percentile(99),
 			MySQLP99:  mysqlSample.Percentile(99),
 			Drops:     n.Drops(),
 		}
-		cr.SpreadP99 = cr.ClientP99 - cr.MySQLP99
-		res.Cases[v.name] = cr
+		cr.result.SpreadP99 = cr.result.ClientP99 - cr.result.MySQLP99
+		return cr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		cr := runs[i]
+		if err := writeCurves(opts.path(fmt.Sprintf("fig7_%s.csv", v.name)), fig7Percentiles, cr.order, cr.curves); err != nil {
+			return nil, err
+		}
+		res.Cases[v.name] = cr.result
 	}
 	return res, nil
 }

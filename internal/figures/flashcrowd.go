@@ -37,26 +37,39 @@ func FlashCrowd(opts Options) (*FlashCrowdResult, error) {
 		MaxInstances:   4,
 		ProvisionDelay: 30 * time.Second,
 	}
-	x, err := core.NewExperiment(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("figures: flash crowd: %w", err)
-	}
-
-	engine := x.Engine()
 	// The crowd spans three minutes: long enough for the 1-minute
 	// trigger to fire (~t+70s), the instance to boot (+30s), and the
 	// overload backlog to drain before the absorbed-phase measurement.
 	crowdStart := cfg.Warmup + 30*time.Second
 	crowdEnd := cfg.Warmup + 210*time.Second
-	engine.At(crowdStart, func() { x.Generator().SetPopulation(cfg.Clients*2, 5*time.Second) })
-	engine.At(crowdEnd, func() { x.Generator().SetPopulation(cfg.Clients, 0) })
 
-	// Collect client RTs per phase.
-	x.Generator().RecordSeries(true)
-	rep, err := x.Run()
-	if err != nil {
-		return nil, fmt.Errorf("figures: flash crowd run: %w", err)
+	// A single run, still routed through the sweep engine so every
+	// figure driver shares one execution and progress path.
+	type crowdRun struct {
+		x   *core.Experiment
+		rep *core.Report
 	}
+	runs, err := runJobs(opts, 1, func(int) (*crowdRun, error) {
+		x, err := core.NewExperiment(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("figures: flash crowd: %w", err)
+		}
+		engine := x.Engine()
+		engine.At(crowdStart, func() { x.Generator().SetPopulation(cfg.Clients*2, 5*time.Second) })
+		engine.At(crowdEnd, func() { x.Generator().SetPopulation(cfg.Clients, 0) })
+
+		// Collect client RTs per phase.
+		x.Generator().RecordSeries(true)
+		rep, err := x.Run()
+		if err != nil {
+			return nil, fmt.Errorf("figures: flash crowd run: %w", err)
+		}
+		return &crowdRun{x: x, rep: rep}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	x, rep := runs[0].x, runs[0].rep
 
 	res := &FlashCrowdResult{ScaleEvents: len(rep.ScaleEvents)}
 	for _, v := range rep.VictimUtilization {

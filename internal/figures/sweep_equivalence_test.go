@@ -1,0 +1,160 @@
+package figures
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// equivalenceWorkers are the worker counts the parallel-vs-serial
+// contract is pinned at: the serial path, oversubscription, and a
+// power-of-two in between.
+var equivalenceWorkers = []int{1, 4, 8}
+
+// sweepDrivers enumerates every figure driver that fans out over the
+// sweep engine, each returning a scalar fingerprint of its result.
+// fmt prints map keys in sorted order, so equal fingerprints mean
+// equal results.
+var sweepDrivers = []struct {
+	name string
+	run  func(Options) (string, error)
+}{
+	{"Fig2", func(o Options) (string, error) {
+		res, err := Fig2(o)
+		return fingerprint(res), err
+	}},
+	{"Fig3", func(o Options) (string, error) {
+		res, err := Fig3(o)
+		return fingerprint(res), err
+	}},
+	{"Fig6", func(o Options) (string, error) {
+		res, err := Fig6(o)
+		return fingerprint(res), err
+	}},
+	{"Fig7", func(o Options) (string, error) {
+		res, err := Fig7(o)
+		return fingerprint(res), err
+	}},
+	{"AblationBurstLength", func(o Options) (string, error) {
+		res, err := AblationBurstLength(o)
+		return fingerprint(res), err
+	}},
+	{"AblationMechanisms", func(o Options) (string, error) {
+		res, err := AblationMechanisms(o)
+		return fingerprint(res), err
+	}},
+	{"DetectorComparison", func(o Options) (string, error) {
+		res, err := DetectorComparison(o)
+		return fingerprint(res), err
+	}},
+	{"JitterEvasion", func(o Options) (string, error) {
+		res, err := JitterEvasion(o)
+		return fingerprint(res), err
+	}},
+	{"DefenseEvaluation", func(o Options) (string, error) {
+		res, err := DefenseEvaluation(o)
+		return fingerprint(res), err
+	}},
+	{"FlashCrowd", func(o Options) (string, error) {
+		res, err := FlashCrowd(o)
+		return fingerprint(res), err
+	}},
+}
+
+func fingerprint(res any) string { return fmt.Sprintf("%#v", res) }
+
+// readArtifacts returns every CSV under dir keyed by relative path.
+func readArtifacts(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	files := make(map[string][]byte)
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		files[rel] = data
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("reading artifacts under %s: %v", dir, err)
+	}
+	return files
+}
+
+// TestSweepWorkerEquivalence pins the engine's core contract at the
+// figure level: every driver converted onto internal/sweep produces
+// byte-identical CSV artifacts and identical scalar results for every
+// worker count. A regression here means parallelism leaked into the
+// results — the one thing the sweep engine exists to prevent.
+func TestSweepWorkerEquivalence(t *testing.T) {
+	for _, d := range sweepDrivers {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			var refPrint string
+			var refFiles map[string][]byte
+			for wi, workers := range equivalenceWorkers {
+				dir := t.TempDir()
+				opts := Options{OutDir: dir, Quick: true, Seed: 7, Parallel: workers}
+				print, err := d.run(opts)
+				if err != nil {
+					t.Fatalf("%s with %d workers: %v", d.name, workers, err)
+				}
+				files := readArtifacts(t, dir)
+				if len(files) == 0 {
+					t.Fatalf("%s with %d workers wrote no artifacts", d.name, workers)
+				}
+				if wi == 0 {
+					refPrint, refFiles = print, files
+					continue
+				}
+				if print != refPrint {
+					t.Errorf("%s scalars differ between %d and %d workers:\n%s\nvs\n%s",
+						d.name, equivalenceWorkers[0], workers, refPrint, print)
+				}
+				if len(files) != len(refFiles) {
+					t.Errorf("%s wrote %d artifacts with %d workers, %d with %d",
+						d.name, len(refFiles), equivalenceWorkers[0], len(files), workers)
+				}
+				for name, ref := range refFiles {
+					got, ok := files[name]
+					if !ok {
+						t.Errorf("%s with %d workers did not write %s", d.name, workers, name)
+						continue
+					}
+					if string(got) != string(ref) {
+						t.Errorf("%s artifact %s differs between %d and %d workers",
+							d.name, name, equivalenceWorkers[0], workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSweepProgressTotals pins the progress hook: one callback per run,
+// ending exactly at (total, total), for serial and parallel execution.
+func TestSweepProgressTotals(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var calls, lastDone, lastTotal int
+		opts := Options{Quick: true, Seed: 7, Parallel: workers}
+		opts.Progress = func(done, total int) {
+			calls++
+			lastDone, lastTotal = done, total
+		}
+		if _, err := Fig3(opts); err != nil {
+			t.Fatalf("Fig3 with %d workers: %v", workers, err)
+		}
+		if calls == 0 || lastDone != lastTotal {
+			t.Errorf("with %d workers: %d progress calls, final %d/%d; want final done == total",
+				workers, calls, lastDone, lastTotal)
+		}
+	}
+}

@@ -23,8 +23,10 @@ type Config struct {
 // The sim-path set covers every package on the simulated side of the clock
 // boundary described in DESIGN.md: the engine itself, the queueing network,
 // workload generation, the cloud/attack/defense models, the analytical
-// model, statistics kernels, figure pipelines, and the orchestration layer
-// that wires them (core and the memca facade).
+// model, statistics kernels, figure pipelines, the parallel sweep engine
+// (its goroutines carry independent single-threaded simulations and no
+// randomness of their own), and the orchestration layer that wires them
+// (core and the memca facade).
 //
 // The clock-allowed set covers the packages that measure or interact with
 // the real world: the memcached-protocol framework and victim daemon that
@@ -45,6 +47,7 @@ func DefaultConfig() *Config {
 			"memca/internal/queueing",
 			"memca/internal/sim",
 			"memca/internal/stats",
+			"memca/internal/sweep",
 			"memca/internal/trace",
 			"memca/internal/workload",
 		},

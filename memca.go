@@ -21,6 +21,7 @@
 package memca
 
 import (
+	"context"
 	"time"
 
 	"memca/internal/analytical"
@@ -29,6 +30,7 @@ import (
 	"memca/internal/core"
 	"memca/internal/memmodel"
 	"memca/internal/monitor"
+	"memca/internal/sweep"
 )
 
 // Re-exported orchestration types.
@@ -51,6 +53,10 @@ type (
 	Report = core.Report
 	// TierReport summarizes one tier.
 	TierReport = core.TierReport
+	// Replication is one repetition of a replicated experiment.
+	Replication = core.Replication
+	// ReplicateOptions control parallel replication.
+	ReplicateOptions = core.ReplicateOptions
 )
 
 // Re-exported attack and control types.
@@ -128,6 +134,17 @@ func DefaultFeedback() FeedbackSpec { return core.DefaultFeedback() }
 
 // NewExperiment validates a configuration and wires every component.
 func NewExperiment(cfg Config) (*Experiment, error) { return core.NewExperiment(cfg) }
+
+// Replicate runs the experiment `runs` times with deterministically
+// derived per-run seeds, fanning the runs over up to opts.Workers
+// goroutines; the result set is identical for every worker count.
+func Replicate(ctx context.Context, cfg Config, runs int, opts ReplicateOptions) ([]Replication, error) {
+	return core.Replicate(ctx, cfg, runs, opts)
+}
+
+// DeriveSeed deterministically derives the seed of replication `index`
+// from a base seed (a splitmix64 step; the scheme is frozen).
+func DeriveSeed(base int64, index int) int64 { return sweep.DeriveSeed(base, index) }
 
 // RUBBoSModel returns the analytical model matching the default topology.
 func RUBBoSModel() Model { return analytical.RUBBoS3Tier() }
