@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race equivalence fuzz bench figures quick-figures demo clean
+.PHONY: all build vet lint test race equivalence fuzz bench bench-smoke figures quick-figures demo clean
 
 all: build vet lint test
 
@@ -33,7 +33,20 @@ equivalence:
 fuzz:
 	$(GO) test -run FuzzConfigJSON -fuzz FuzzConfigJSON -fuzztime 30s ./internal/core
 
+# Engine performance regression report: run the kernel and headline-figure
+# benchmarks for real (default benchtime) and diff them against the
+# checked-in pre-redesign baseline into BENCH_PR3.json.
+BENCH_REGRESSION = BenchmarkEngineEvents|BenchmarkQueueingThroughput|BenchmarkFig2TailAmplification
 bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_REGRESSION)' -benchmem . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -baseline bench/baseline.json \
+			-args "go test -run ^$$ -bench '$(BENCH_REGRESSION)' -benchmem ." \
+			-o BENCH_PR3.json
+
+# One iteration of every benchmark — a fast smoke check that each figure
+# pipeline still runs end to end.
+bench-smoke:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
 # Regenerate every paper table/figure plus ablations, the defense matrix,

@@ -1,0 +1,163 @@
+// Command benchjson turns `go test -bench -benchmem` output into a JSON
+// regression report. It reads benchmark text on stdin, optionally joins it
+// against a checked-in baseline file, and writes one document with the
+// current numbers plus per-benchmark deltas, so CI can archive an
+// apples-to-apples record of engine performance per change.
+//
+// Usage:
+//
+//	go test -bench 'Engine|Fig2' -benchmem . | benchjson -baseline bench/baseline.json -o BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the checked-in reference measurement set.
+type Baseline struct {
+	Commit     string            `json:"commit"`
+	Note       string            `json:"note"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// Delta compares one benchmark against its baseline. Reductions are
+// positive when the current run improved.
+type Delta struct {
+	NsReductionPct     float64 `json:"ns_reduction_pct"`
+	BReductionPct      float64 `json:"b_reduction_pct"`
+	AllocsReductionPct float64 `json:"allocs_reduction_pct"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	Baseline  *Baseline         `json:"baseline,omitempty"`
+	Current   map[string]Result `json:"current"`
+	Deltas    map[string]Delta  `json:"deltas,omitempty"`
+	BenchArgs string            `json:"bench_args,omitempty"`
+}
+
+// benchLine matches one `go test -bench` result row, e.g.
+//
+//	BenchmarkEngineEvents-8   24799743   45.22 ns/op   0 B/op   0 allocs/op
+//
+// The -benchmem columns are optional; extra ReportMetric columns between
+// ns/op and B/op are tolerated.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(.*)$`)
+
+var memCols = regexp.MustCompile(`([0-9.e+]+) B/op\s+([0-9.e+]+) allocs/op`)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "baseline JSON to diff against")
+		outPath      = flag.String("o", "", "output file (default stdout)")
+		benchArgs    = flag.String("args", "", "free-form note recording how the numbers were produced")
+	)
+	flag.Parse()
+
+	if err := run(*baselinePath, *outPath, *benchArgs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath, outPath, benchArgs string) error {
+	current, err := parseBench(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	rep := Report{Current: current, BenchArgs: benchArgs}
+
+	if baselinePath != "" {
+		var base Baseline
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+		}
+		rep.Baseline = &base
+		rep.Deltas = make(map[string]Delta)
+		for name, cur := range current {
+			ref, ok := base.Benchmarks[name]
+			if !ok {
+				continue
+			}
+			rep.Deltas[name] = Delta{
+				NsReductionPct:     reductionPct(ref.NsPerOp, cur.NsPerOp),
+				BReductionPct:      reductionPct(ref.BPerOp, cur.BPerOp),
+				AllocsReductionPct: reductionPct(ref.AllocsPerOp, cur.AllocsPerOp),
+			}
+		}
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(outPath, out, 0o644)
+}
+
+// reductionPct is how much the metric shrank relative to the reference, in
+// percent; 0 when the reference is 0 (nothing to reduce).
+func reductionPct(ref, cur float64) float64 {
+	if ref == 0 {
+		return 0
+	}
+	return (ref - cur) / ref * 100
+}
+
+// parseBench extracts benchmark results from `go test -bench` text. The
+// "Benchmark" prefix and "-<GOMAXPROCS>" suffix are stripped from names.
+func parseBench(f *os.File) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse ns/op in %q: %w", sc.Text(), err)
+		}
+		res := Result{NsPerOp: ns}
+		if mem := memCols.FindStringSubmatch(m[3]); mem != nil {
+			if res.BPerOp, err = strconv.ParseFloat(mem[1], 64); err != nil {
+				return nil, fmt.Errorf("parse B/op in %q: %w", sc.Text(), err)
+			}
+			if res.AllocsPerOp, err = strconv.ParseFloat(mem[2], 64); err != nil {
+				return nil, fmt.Errorf("parse allocs/op in %q: %w", sc.Text(), err)
+			}
+		}
+		out[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

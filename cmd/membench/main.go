@@ -51,7 +51,9 @@ func run() error {
 	tbl := trace.Table{Header: []string{"vms", "placement", "attack", "per-VM MB/s", "aggregate MB/s"}}
 	for _, placement := range []memmodel.PlacementMode{memmodel.PlacementSamePackage, memmodel.PlacementRandomPackage} {
 		for _, kind := range []memmodel.AttackKind{memmodel.AttackBusSaturation, memmodel.AttackMemoryLock} {
-			points, err := memca.BandwidthSweep(cfg, *vms, placement, kind, *duty)
+			points, err := memca.Sweep(memca.ProfileSpec{
+				Host: cfg, VMs: *vms, Placement: placement, Kind: kind, LockDuty: *duty,
+			})
 			if err != nil {
 				return err
 			}

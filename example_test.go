@@ -33,7 +33,8 @@ func ExamplePredictAttack() {
 // paper's damage goal under the stealth bound.
 func ExamplePlanAttack() {
 	m := memca.RUBBoSModel()
-	a, err := memca.PlanAttack(m, 0.05, time.Second, 2*time.Second)
+	goal := memca.PlanGoal{MinImpact: 0.05, MaxMillibottleneck: time.Second}
+	a, err := memca.PlanAttack(m, goal, 2*time.Second)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -43,12 +44,17 @@ func ExamplePlanAttack() {
 	// D=0.31 L=884ms I=2s
 }
 
-// ExampleProfileBandwidth reproduces one point of the Section III
-// profiling: six co-located VMs on one package under a full-duty memory
-// lock.
-func ExampleProfileBandwidth() {
+// ExampleProfile reproduces one point of the Section III profiling: six
+// co-located VMs on one package under a full-duty memory lock.
+func ExampleProfile() {
 	cfg := memca.XeonE5_2603v3()
-	point, err := memca.ProfileBandwidth(cfg, 6, memca.PlacementSamePackage, memca.AttackMemoryLock, 1.0)
+	point, err := memca.Profile(memca.ProfileSpec{
+		Host:      cfg,
+		VMs:       6,
+		Placement: memca.PlacementSamePackage,
+		Kind:      memca.AttackMemoryLock,
+		LockDuty:  1.0,
+	})
 	if err != nil {
 		fmt.Println("error:", err)
 		return

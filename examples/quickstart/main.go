@@ -6,8 +6,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"memca"
@@ -21,6 +23,10 @@ func main() {
 }
 
 func run() error {
+	// Ctrl-C aborts a run mid-simulation instead of waiting it out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// A shortened run is enough to see the effect; the full paper setup
 	// is memca.DefaultConfig() unchanged (3 minutes, 3500 clients).
 	base := memca.DefaultConfig()
@@ -29,13 +35,13 @@ func run() error {
 	fmt.Println("== baseline (no attack) ==")
 	clean := base
 	clean.Attack = nil
-	cleanRep, err := runOne(clean)
+	cleanRep, err := runOne(ctx, clean)
 	if err != nil {
 		return err
 	}
 
 	fmt.Println("== under MemCA (memory lock, L=500ms, I=2s) ==")
-	attackRep, err := runOne(base)
+	attackRep, err := runOne(ctx, base)
 	if err != nil {
 		return err
 	}
@@ -49,12 +55,12 @@ func run() error {
 	return nil
 }
 
-func runOne(cfg memca.Config) (*memca.Report, error) {
+func runOne(ctx context.Context, cfg memca.Config) (*memca.Report, error) {
 	x, err := memca.NewExperiment(cfg)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := x.Run()
+	rep, err := x.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}

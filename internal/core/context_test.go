@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRunContextPreCanceled pins the fail-fast path: a context that is
+// already canceled yields no report and the context's own error.
+func TestRunContextPreCanceled(t *testing.T) {
+	cfg := fastConfig()
+	x, err := NewExperiment(cfg)
+	if err != nil {
+		t.Fatalf("NewExperiment: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := x.RunContext(ctx)
+	if rep != nil {
+		t.Errorf("canceled run returned a report: %+v", rep)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextMidRunCancel pins the periodic-check path: cancellation
+// while the simulation is in flight aborts it with the context error and
+// never surfaces a partial report as success.
+func TestRunContextMidRunCancel(t *testing.T) {
+	cfg := fastConfig()
+	x, err := NewExperiment(cfg)
+	if err != nil {
+		t.Fatalf("NewExperiment: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(20*time.Millisecond, cancel)
+	defer timer.Stop()
+	defer cancel()
+	rep, err := x.RunContext(ctx)
+	if err == nil {
+		// The run legitimately finished before the timer fired (slow
+		// machines only); that is not a partial-report violation.
+		if rep == nil {
+			t.Error("nil error with nil report")
+		}
+		t.Skip("run finished before cancellation fired")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if rep != nil {
+		t.Errorf("canceled run returned a partial report: %+v", rep)
+	}
+}
+
+// TestRunContextNil pins that a nil context behaves like Background.
+func TestRunContextNil(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Duration = 5 * time.Second
+	cfg.Warmup = time.Second
+	cfg.Clients = 100
+	x, err := NewExperiment(cfg)
+	if err != nil {
+		t.Fatalf("NewExperiment: %v", err)
+	}
+	rep, err := x.RunContext(nil) //nolint:staticcheck // nil tolerance is part of the contract
+	if err != nil {
+		t.Fatalf("RunContext(nil): %v", err)
+	}
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+}
+
+// TestRunDelegatesToContext pins that the legacy Run entry point still
+// produces a full report (it is now a RunContext delegate).
+func TestRunDelegatesToContext(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Duration = 5 * time.Second
+	cfg.Warmup = time.Second
+	cfg.Clients = 100
+	x, err := NewExperiment(cfg)
+	if err != nil {
+		t.Fatalf("NewExperiment: %v", err)
+	}
+	rep, err := x.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Client.Count == 0 {
+		t.Error("report has no client observations")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -228,16 +229,41 @@ func (x *Experiment) wireLLCProfilers() error {
 	return nil
 }
 
+// cancelCheckEvery is how many fired events pass between context checks in
+// RunContext. Checking is cheap (an atomic load inside ctx.Err), but doing
+// it between every pair of events would still dominate the hot loop; every
+// few thousand events keeps cancellation latency far below a simulated
+// second at experiment event rates.
+const cancelCheckEvery = 4096
+
 // Run executes warm-up plus the measured phase and returns the report. An
-// experiment runs once; further calls return an error.
-func (x *Experiment) Run() (*Report, error) {
+// experiment runs once; further calls return an error. It is equivalent to
+// RunContext with a background context.
+func (x *Experiment) Run() (*Report, error) { return x.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation: the event loop checks
+// ctx every few thousand events and on cancellation returns ctx's error
+// with a nil Report — a canceled run never surfaces partial results as
+// success, matching the sweep engine's semantics. Cancellation does not
+// perturb determinism: the event sequence up to the stop point is exactly
+// the uncancelled run's prefix.
+func (x *Experiment) RunContext(ctx context.Context) (*Report, error) {
 	if x.ran {
 		return nil, fmt.Errorf("core: experiment already ran")
 	}
 	x.ran = true
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	check := func() error { return ctx.Err() }
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	x.gen.Start()
-	x.engine.Run(x.cfg.Warmup)
+	if err := x.engine.RunChecked(x.cfg.Warmup, cancelCheckEvery, check); err != nil {
+		return nil, err
+	}
 	x.gen.ResetMetrics()
 	x.network.ResetTierSamples()
 	measureStart := x.engine.Now()
@@ -262,7 +288,9 @@ func (x *Experiment) Run() (*Report, error) {
 	}
 
 	end := measureStart + x.cfg.Duration
-	x.engine.Run(end)
+	if err := x.engine.RunChecked(end, cancelCheckEvery, check); err != nil {
+		return nil, err
+	}
 
 	// Quiesce: stop sources and attack, then drain in-flight work.
 	x.gen.Stop()
@@ -281,7 +309,10 @@ func (x *Experiment) Run() (*Report, error) {
 	if x.llcAdversary != nil {
 		x.llcAdversary.Stop()
 	}
-	if err := x.engine.RunAll(50_000_000); err != nil {
+	if err := x.engine.RunAllChecked(50_000_000, cancelCheckEvery, check); err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("core: drain phase: %w", err)
 	}
 	return x.buildReport(measureStart, end)

@@ -34,14 +34,17 @@ type ReplicateOptions struct {
 // worker count and stable across processes.
 func Replicate(ctx context.Context, cfg Config, runs int, opts ReplicateOptions) ([]Replication, error) {
 	sweepOpts := sweep.Options{Workers: opts.Workers, Progress: opts.Progress}
-	return sweep.Run(ctx, sweepOpts, runs, func(_ context.Context, i int) (Replication, error) {
+	return sweep.Run(ctx, sweepOpts, runs, func(jobCtx context.Context, i int) (Replication, error) {
 		runCfg := cfg
 		runCfg.Seed = sweep.DeriveSeed(cfg.Seed, i)
 		x, err := NewExperiment(runCfg)
 		if err != nil {
 			return Replication{}, err
 		}
-		rep, err := x.Run()
+		// RunContext honors the sweep's cancellation, so an aborted
+		// replication set stops mid-simulation instead of finishing
+		// every in-flight multi-minute run.
+		rep, err := x.RunContext(jobCtx)
 		if err != nil {
 			return Replication{}, err
 		}

@@ -41,7 +41,9 @@ func Fig3(opts Options) (*Fig3Result, error) {
 	}
 	curves, err := runJobs(opts, len(variants), func(i int) ([]float64, error) {
 		v := variants[i]
-		points, err := memmodel.BandwidthSweep(cfg, maxVMs, v.placement, v.kind, 1.0)
+		points, err := memmodel.Sweep(memmodel.ProfileSpec{
+			Host: cfg, VMs: maxVMs, Placement: v.placement, Kind: v.kind, LockDuty: 1.0,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("figures: fig3 %v/%v: %w", v.placement, v.kind, err)
 		}

@@ -1,0 +1,57 @@
+package lint
+
+import "testing"
+
+// TestSimPathCoversEngine pins the determinism contract's reach: the event
+// engine and everything the redesigned zero-allocation path touches must
+// stay on the sim side of the clock boundary. Removing one of these from
+// DefaultConfig would silently exempt it from the analyzers.
+func TestSimPathCoversEngine(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, path := range []string{
+		"memca",
+		"memca/internal/sim",
+		"memca/internal/queueing",
+		"memca/internal/workload",
+		"memca/internal/stats",
+		"memca/internal/core",
+		"memca/internal/sweep",
+	} {
+		if !cfg.IsSimPath(path) {
+			t.Errorf("IsSimPath(%q) = false, want true", path)
+		}
+	}
+	for _, path := range []string{
+		"memca/cmd/benchjson",
+		"memca/cmd/membench",
+		"memca/examples/quickstart",
+	} {
+		if cfg.IsSimPath(path) {
+			t.Errorf("IsSimPath(%q) = true, want false (binary)", path)
+		}
+		if !cfg.IsClockAllowed(path) {
+			t.Errorf("IsClockAllowed(%q) = false, want true (binary)", path)
+		}
+	}
+}
+
+// TestEngineFilesClean runs the full analyzer suite over the real engine
+// packages — not golden fixtures — so a determinism or clock regression in
+// the rewritten event loop and pooled queueing path fails this unit test,
+// not just the out-of-band `make lint` gate.
+func TestEngineFilesClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks real packages")
+	}
+	pkgs, err := Load("../..", "./internal/sim", "./internal/queueing", "./internal/workload", "./internal/core")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 4 {
+		t.Fatalf("loaded %d packages, want 4", len(pkgs))
+	}
+	diags := Run(pkgs, Analyzers(), DefaultConfig())
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %v", d)
+	}
+}

@@ -60,13 +60,34 @@ type BandwidthPoint struct {
 	AggregateMBps float64 `json:"aggregate_mbps"`
 }
 
-// ProfileBandwidth reproduces the paper's Section III measurement: k
+// ProfileSpec describes one bandwidth-profiling experiment: the host
+// model, the number of measuring VMs, their placement, and the attack that
+// runs alongside. It replaces the five-positional-argument profiling
+// calls; a zero LockDuty with Kind == AttackMemoryLock means the adversary
+// never locks, so callers normally want 1.0 there.
+type ProfileSpec struct {
+	// Host is the physical host's memory-subsystem model.
+	Host HostConfig
+	// VMs is the number of measuring VMs; for Sweep it is the maximum of
+	// the 1..VMs curve.
+	VMs int
+	// Placement pins VMs to one package or lets them float.
+	Placement PlacementMode
+	// Kind selects the co-running attack program.
+	Kind AttackKind
+	// LockDuty is the bus-lock duty cycle in [0,1], used only by
+	// AttackMemoryLock.
+	LockDuty float64
+}
+
+// Profile reproduces the paper's Section III measurement: spec.VMs
 // co-located VMs run a RAMspeed-style benchmark under the given placement,
 // and the attack runs alongside. For AttackBusSaturation the measuring VMs
 // themselves are the saturating load (as in the paper, where the benchmark
 // doubles as the attack program); for AttackMemoryLock one extra adversary
 // VM holds bus locks at the given duty cycle.
-func ProfileBandwidth(cfg HostConfig, vms int, placement PlacementMode, attack AttackKind, lockDuty float64) (BandwidthPoint, error) {
+func Profile(spec ProfileSpec) (BandwidthPoint, error) {
+	cfg, vms, placement, attack, lockDuty := spec.Host, spec.VMs, spec.Placement, spec.Kind, spec.LockDuty
 	if vms <= 0 {
 		return BandwidthPoint{}, fmt.Errorf("memmodel: need at least one measuring VM, got %d", vms)
 	}
@@ -107,19 +128,35 @@ func ProfileBandwidth(cfg HostConfig, vms int, placement PlacementMode, attack A
 	return point, nil
 }
 
-// BandwidthSweep runs ProfileBandwidth for 1..maxVMs VMs, producing one
-// curve of Figure 3.
-func BandwidthSweep(cfg HostConfig, maxVMs int, placement PlacementMode, attack AttackKind, lockDuty float64) ([]BandwidthPoint, error) {
-	if maxVMs <= 0 {
-		return nil, fmt.Errorf("memmodel: maxVMs must be positive, got %d", maxVMs)
+// Sweep runs Profile for 1..spec.VMs measuring VMs, producing one curve of
+// Figure 3.
+func Sweep(spec ProfileSpec) ([]BandwidthPoint, error) {
+	if spec.VMs <= 0 {
+		return nil, fmt.Errorf("memmodel: maxVMs must be positive, got %d", spec.VMs)
 	}
-	out := make([]BandwidthPoint, 0, maxVMs)
-	for k := 1; k <= maxVMs; k++ {
-		p, err := ProfileBandwidth(cfg, k, placement, attack, lockDuty)
+	out := make([]BandwidthPoint, 0, spec.VMs)
+	for k := 1; k <= spec.VMs; k++ {
+		at := spec
+		at.VMs = k
+		p, err := Profile(at)
 		if err != nil {
 			return nil, fmt.Errorf("sweep at %d VMs: %w", k, err)
 		}
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// ProfileBandwidth is the positional-argument form of Profile.
+//
+// Deprecated: use Profile with a ProfileSpec.
+func ProfileBandwidth(cfg HostConfig, vms int, placement PlacementMode, attack AttackKind, lockDuty float64) (BandwidthPoint, error) {
+	return Profile(ProfileSpec{Host: cfg, VMs: vms, Placement: placement, Kind: attack, LockDuty: lockDuty})
+}
+
+// BandwidthSweep is the positional-argument form of Sweep.
+//
+// Deprecated: use Sweep with a ProfileSpec.
+func BandwidthSweep(cfg HostConfig, maxVMs int, placement PlacementMode, attack AttackKind, lockDuty float64) ([]BandwidthPoint, error) {
+	return Sweep(ProfileSpec{Host: cfg, VMs: maxVMs, Placement: placement, Kind: attack, LockDuty: lockDuty})
 }

@@ -11,6 +11,11 @@ import (
 // Network is an n-tier queueing system bound to a simulation engine. It is
 // single-threaded: all methods must run on the simulator goroutine (inside
 // engine callbacks or between engine runs).
+//
+// The steady-state request path allocates nothing: Request objects and
+// service runs are recycled through free lists, tier queues are ring
+// buffers, and network-hop events use the engine's Actor path instead of
+// closures.
 type Network struct {
 	engine *sim.Engine
 	cfg    Config
@@ -20,6 +25,13 @@ type Network struct {
 	drops     uint64
 	completed uint64
 	inFlight  int
+
+	// freeReqs and freeRuns are the recycling pools. Objects are reset on
+	// checkout, so a recycled Request still carries its final field values
+	// until reused (Submit's return value stays readable until the next
+	// Submit).
+	freeReqs []*Request
+	freeRuns []*serviceRun
 }
 
 // New builds a network from the configuration.
@@ -36,6 +48,48 @@ func New(engine *sim.Engine, cfg Config) (*Network, error) {
 		n.tiers[i] = newTier(tc, i, n)
 	}
 	return n, nil
+}
+
+// getRequest checks a request out of the pool, reset for a class of the
+// given depth.
+func (n *Network) getRequest(depth int) *Request {
+	var req *Request
+	if k := len(n.freeReqs); k > 0 {
+		req = n.freeReqs[k-1]
+		n.freeReqs = n.freeReqs[:k-1]
+	} else {
+		req = &Request{}
+	}
+	req.reset(depth)
+	return req
+}
+
+// putRequest returns a finished request to the pool. Callbacks have
+// already run; the object must not be referenced by the caller afterwards.
+func (n *Network) putRequest(req *Request) {
+	// Drop the callback references eagerly so the pool doesn't pin
+	// caller state between submissions.
+	req.onComplete = nil
+	req.onDrop = nil
+	req.UserData = nil
+	n.freeReqs = append(n.freeReqs, req)
+}
+
+// getRun checks a service run out of the pool.
+func (n *Network) getRun() *serviceRun {
+	if k := len(n.freeRuns); k > 0 {
+		run := n.freeRuns[k-1]
+		n.freeRuns = n.freeRuns[:k-1]
+		return run
+	}
+	return &serviceRun{}
+}
+
+// putRun recycles a completed service run.
+func (n *Network) putRun(run *serviceRun) {
+	run.req = nil
+	run.ev = sim.Event{}
+	n.freeRuns = append(n.freeRuns, run)
 }
 
 // Engine returns the bound simulation engine.
@@ -57,15 +111,20 @@ type SubmitOpts struct {
 	Attempt int
 	// UserData is carried on the request.
 	UserData any
-	// OnComplete fires when the response reaches the client.
+	// OnComplete fires when the response reaches the client. The *Request
+	// is recycled once the callback returns; copy fields out, do not
+	// retain the pointer.
 	OnComplete func(*Request)
-	// OnDrop fires when the front tier rejects the request.
+	// OnDrop fires when the front tier rejects the request, under the
+	// same no-retention rule as OnComplete.
 	OnDrop func(*Request)
 }
 
 // Submit injects a request at the front tier. The drop decision is made
 // synchronously: a request rejected by a full front tier has its OnDrop
-// callback invoked before Submit returns.
+// callback invoked before Submit returns. The returned *Request comes from
+// the network's recycling pool and is only valid for reading until the
+// next Submit.
 func (n *Network) Submit(opts SubmitOpts) (*Request, error) {
 	if opts.Class < 0 || opts.Class >= len(n.cfg.Classes) {
 		return nil, fmt.Errorf("queueing: class %d out of range [0,%d)", opts.Class, len(n.cfg.Classes))
@@ -75,19 +134,15 @@ func (n *Network) Submit(opts SubmitOpts) (*Request, error) {
 	if first == 0 {
 		first = now
 	}
-	depth := n.cfg.Classes[opts.Class].Depth
-	req := &Request{
-		ID:           n.nextID,
-		Class:        opts.Class,
-		FirstAttempt: first,
-		Submit:       now,
-		Attempt:      opts.Attempt,
-		TierArrive:   make([]time.Duration, depth+1),
-		TierLeave:    make([]time.Duration, depth+1),
-		UserData:     opts.UserData,
-		onComplete:   opts.OnComplete,
-		onDrop:       opts.OnDrop,
-	}
+	req := n.getRequest(n.cfg.Classes[opts.Class].Depth)
+	req.ID = n.nextID
+	req.Class = opts.Class
+	req.FirstAttempt = first
+	req.Submit = now
+	req.Attempt = opts.Attempt
+	req.UserData = opts.UserData
+	req.onComplete = opts.OnComplete
+	req.onDrop = opts.OnDrop
 	n.nextID++
 	n.inFlight++
 	n.tiers[0].requestSlot(req)
@@ -100,7 +155,8 @@ func (n *Network) advance(req *Request, i int) {
 	depth := n.cfg.Classes[req.Class].Depth
 	if i < depth {
 		req.curTier = i + 1
-		n.afterHop(func() { n.tiers[i+1].requestSlot(req) })
+		req.phase = hopDescend
+		n.afterHop(req)
 		return
 	}
 	// Deepest tier done: in RPC mode the response releases every held
@@ -113,29 +169,45 @@ func (n *Network) advance(req *Request, i int) {
 			n.tiers[j].respond(req)
 		}
 	}
-	n.afterHop(func() {
-		req.Done = n.engine.Now()
-		n.completed++
-		n.inFlight--
-		if req.onComplete != nil {
-			req.onComplete(req)
-		}
-		if n.cfg.OnComplete != nil {
-			n.cfg.OnComplete(req)
-		}
-	})
+	req.phase = hopComplete
+	n.afterHop(req)
 }
 
-// afterHop runs fn now, or after one network-hop delay when configured.
-func (n *Network) afterHop(fn func()) {
+// afterHop dispatches the request's pending phase now, or after one
+// network-hop delay when configured.
+func (n *Network) afterHop(req *Request) {
 	if n.cfg.HopDelay == nil {
-		fn()
+		n.hopArrive(req)
 		return
 	}
-	n.engine.Schedule(n.cfg.HopDelay.Sample(n.engine.Rand()), fn)
+	n.engine.ScheduleCall(n.cfg.HopDelay.Sample(n.engine.Rand()), n, req)
 }
 
-// notifyDrop records and dispatches a front-tier rejection.
+// Act makes the network the sim.Actor for its hop events: arg is the
+// *Request in flight, whose phase field says what the hop delivers.
+func (n *Network) Act(arg any) { n.hopArrive(arg.(*Request)) }
+
+// hopArrive lands a request after a hop: either into the next tier on the
+// way down, or at the client with the finished response.
+func (n *Network) hopArrive(req *Request) {
+	if req.phase == hopDescend {
+		n.tiers[req.curTier].requestSlot(req)
+		return
+	}
+	req.Done = n.engine.Now()
+	n.completed++
+	n.inFlight--
+	if req.onComplete != nil {
+		req.onComplete(req)
+	}
+	if n.cfg.OnComplete != nil {
+		n.cfg.OnComplete(req)
+	}
+	n.putRequest(req)
+}
+
+// notifyDrop records and dispatches a front-tier rejection, then recycles
+// the request.
 func (n *Network) notifyDrop(req *Request) {
 	n.inFlight--
 	if req.onDrop != nil {
@@ -144,6 +216,7 @@ func (n *Network) notifyDrop(req *Request) {
 	if n.cfg.OnDrop != nil {
 		n.cfg.OnDrop(req)
 	}
+	n.putRequest(req)
 }
 
 // SetCapacityMultiplier scales tier i's service rate: 1 is full capacity
@@ -227,7 +300,7 @@ func (n *Network) TierState(i int) (TierSnapshot, error) {
 	return TierSnapshot{
 		Name:         t.cfg.Name,
 		InUse:        t.inUse,
-		Backlog:      len(t.pendingAdmit),
+		Backlog:      t.pendingAdmit.len(),
 		BusyStations: t.busyStations,
 		Completions:  t.completions,
 		Drops:        t.drops,

@@ -4,6 +4,12 @@ import "time"
 
 // Request is one client request traveling through the tier chain. Fields
 // are written by the network; callers read them from callbacks.
+//
+// Requests are pooled: once the OnComplete/OnDrop callbacks return, the
+// network recycles the object for a later submission. Callbacks must copy
+// out any fields they need later and must not retain the pointer. The
+// value returned by Submit is likewise only valid until the next Submit on
+// the same network.
 type Request struct {
 	// ID is unique per network, in submission order.
 	ID uint64
@@ -34,6 +40,53 @@ type Request struct {
 	onComplete func(*Request)
 	onDrop     func(*Request)
 	curTier    int
+	// phase tells the network's hop dispatcher what to do with the
+	// request when a network-hop event fires.
+	phase hopPhase
+}
+
+// hopPhase is the pending action carried by a request across a network hop.
+type hopPhase uint8
+
+const (
+	// hopDescend admits the request into tiers[curTier].
+	hopDescend hopPhase = iota
+	// hopComplete delivers the response to the client.
+	hopComplete
+)
+
+// reset clears the request for reuse, keeping the TierArrive/TierLeave
+// backing arrays so steady-state submissions allocate nothing. The tier
+// slices are resized to depth+1 and zeroed (a recycled request must never
+// leak a prior run's timestamps into latency stats).
+func (r *Request) reset(depth int) {
+	r.ID = 0
+	r.Class = 0
+	r.FirstAttempt = 0
+	r.Submit = 0
+	r.Attempt = 0
+	r.Done = 0
+	r.Dropped = false
+	r.TierArrive = resetDurations(r.TierArrive, depth+1)
+	r.TierLeave = resetDurations(r.TierLeave, depth+1)
+	r.UserData = nil
+	r.onComplete = nil
+	r.onDrop = nil
+	r.curTier = 0
+	r.phase = hopDescend
+}
+
+// resetDurations returns s resized to n with every element zeroed, reusing
+// the backing array when it is large enough.
+func resetDurations(s []time.Duration, n int) []time.Duration {
+	if cap(s) < n {
+		return make([]time.Duration, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // ClientRT returns the response time the end user perceives: completion

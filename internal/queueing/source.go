@@ -21,16 +21,31 @@ type SourceConfig struct {
 	Retransmit RetransmitPolicy
 }
 
+// srcRetrans is one pending retransmission, pooled so that the drop-retry
+// path stays allocation-free.
+type srcRetrans struct {
+	first   time.Duration
+	attempt int
+}
+
 // Source generates Poisson arrivals into a network and records the
-// client-perceived response times, including retransmission delays.
+// client-perceived response times, including retransmission delays. The
+// steady-state arrival path performs no allocations: the inter-arrival
+// distribution is hoisted, submissions reuse prebuilt callbacks, and both
+// arrival and retransmission events ride the engine's Actor path.
 type Source struct {
 	engine  *sim.Engine
 	network *Network
 	cfg     SourceConfig
+	gap     sim.Exponential
 
 	running  bool
 	stopped  bool
 	clientRT *stats.Sample
+
+	onComplete func(*Request)
+	onDrop     func(*Request)
+	freeRecs   []*srcRetrans
 
 	sent     uint64
 	retrans  uint64
@@ -54,12 +69,16 @@ func NewPoissonSource(network *Network, cfg SourceConfig) (*Source, error) {
 			return nil, err
 		}
 	}
-	return &Source{
+	s := &Source{
 		engine:   network.engine,
 		network:  network,
 		cfg:      cfg,
+		gap:      sim.NewExponentialRate(cfg.Rate),
 		clientRT: stats.NewSample(1024),
-	}, nil
+	}
+	s.onComplete = func(req *Request) { s.clientRT.Add(req.ClientRT()) }
+	s.onDrop = func(req *Request) { s.handleDrop(req) }
+	return s, nil
 }
 
 // Start begins generating arrivals. It is idempotent.
@@ -79,14 +98,27 @@ func (s *Source) Stop() {
 }
 
 func (s *Source) scheduleNext() {
-	gap := sim.NewExponentialRate(s.cfg.Rate).Sample(s.engine.Rand())
-	s.engine.Schedule(gap, func() {
+	s.engine.ScheduleCall(s.gap.Sample(s.engine.Rand()), s, nil)
+}
+
+// Act makes the source the sim.Actor for its own events: a nil arg is the
+// next Poisson arrival, a *srcRetrans is a due retransmission.
+func (s *Source) Act(arg any) {
+	if arg == nil {
 		if s.stopped {
 			return
 		}
 		s.fire(0, 0)
 		s.scheduleNext()
-	})
+		return
+	}
+	rec := arg.(*srcRetrans)
+	first, attempt := rec.first, rec.attempt
+	s.freeRecs = append(s.freeRecs, rec)
+	if s.stopped {
+		return
+	}
+	s.fire(first, attempt)
 }
 
 // fire submits one attempt. firstAttempt is zero for fresh requests.
@@ -96,12 +128,8 @@ func (s *Source) fire(firstAttempt time.Duration, attempt int) {
 		Class:        s.cfg.Class,
 		FirstAttempt: firstAttempt,
 		Attempt:      attempt,
-		OnComplete: func(req *Request) {
-			s.clientRT.Add(req.ClientRT())
-		},
-		OnDrop: func(req *Request) {
-			s.handleDrop(req)
-		},
+		OnComplete:   s.onComplete,
+		OnDrop:       s.onDrop,
 	})
 	if err != nil {
 		// Class was validated at construction; a failure here is a bug.
@@ -121,13 +149,16 @@ func (s *Source) handleDrop(req *Request) {
 	}
 	s.retrans++
 	rto := s.cfg.Retransmit.RTO(next)
-	first := req.FirstAttempt
-	s.engine.Schedule(rto, func() {
-		if s.stopped {
-			return
-		}
-		s.fire(first, next)
-	})
+	var rec *srcRetrans
+	if k := len(s.freeRecs); k > 0 {
+		rec = s.freeRecs[k-1]
+		s.freeRecs = s.freeRecs[:k-1]
+	} else {
+		rec = &srcRetrans{}
+	}
+	rec.first = req.FirstAttempt
+	rec.attempt = next
+	s.engine.ScheduleCall(rto, s, rec)
 }
 
 // ClientRT returns the sample of end-user response times (shared, do not

@@ -10,13 +10,19 @@ import (
 // serviceRun tracks one request being served by a station, with the fluid
 // remaining-work bookkeeping that lets the network retarget completion
 // times when the tier's capacity multiplier changes mid-service.
+//
+// Runs are pooled on the network and linked into their tier's in-service
+// list (an intrusive doubly-linked list in admission order — deterministic,
+// unlike map iteration, and allocation-free, unlike map inserts).
 type serviceRun struct {
 	req *Request
 	// remaining is the work left, in seconds of service at full rate.
 	remaining float64
 	// lastUpdate is the last time remaining was reconciled.
 	lastUpdate time.Duration
-	ev         *sim.Event
+	ev         sim.Event
+
+	prev, next *serviceRun
 }
 
 // tier is one stage of the network. All mutation happens on the simulator
@@ -36,10 +42,11 @@ type tier struct {
 	scale float64
 
 	inUse          int // admitted slots (held until response in RPC mode)
-	waitingService []*Request
-	pendingAdmit   []*Request
-	inService      map[*Request]*serviceRun
-	busyStations   int
+	waitingService reqRing
+	pendingAdmit   reqRing
+	// runsHead/runsTail anchor the in-service list in admission order.
+	runsHead, runsTail *serviceRun
+	busyStations       int
 
 	occupancy *stats.LevelIntegrator // slots in use over time
 	backlog   *stats.LevelIntegrator // requests blocked in front of the tier
@@ -57,13 +64,17 @@ func newTier(cfg TierConfig, idx int, net *Network) *tier {
 		net:       net,
 		mult:      1,
 		scale:     1,
-		inService: make(map[*Request]*serviceRun),
 		occupancy: stats.NewLevelIntegrator(),
 		backlog:   stats.NewLevelIntegrator(),
 		busy:      stats.NewLevelIntegrator(),
 		rt:        stats.NewSample(1024),
 	}
 }
+
+// Act dispatches a completion event for one in-service run: tiers are the
+// sim.Actor for their own service completions, so the per-service event
+// carries no closure.
+func (t *tier) Act(arg any) { t.serviceDone(arg.(*serviceRun)) }
 
 func (t *tier) now() time.Duration { return t.net.engine.Now() }
 
@@ -103,8 +114,8 @@ func (t *tier) requestSlot(req *Request) {
 	// RPC mode: the request blocks here, still holding its slots in
 	// every upstream tier — this is the cross-tier back-pressure that
 	// propagates queue overflow toward the front.
-	t.pendingAdmit = append(t.pendingAdmit, req)
-	t.backlog.Set(t.now(), float64(len(t.pendingAdmit)))
+	t.pendingAdmit.push(req)
+	t.backlog.Set(t.now(), float64(t.pendingAdmit.len()))
 }
 
 func (t *tier) admit(req *Request) {
@@ -115,7 +126,7 @@ func (t *tier) admit(req *Request) {
 		t.startService(req)
 		return
 	}
-	t.waitingService = append(t.waitingService, req)
+	t.waitingService.push(req)
 }
 
 func (t *tier) startService(req *Request) {
@@ -127,13 +138,39 @@ func (t *tier) startService(req *Request) {
 	if class.DemandScale != nil {
 		scale = class.DemandScale[t.idx]
 	}
-	run := &serviceRun{
-		req:        req,
-		remaining:  base.Seconds() * scale,
-		lastUpdate: t.now(),
-	}
-	t.inService[req] = run
+	run := t.net.getRun()
+	run.req = req
+	run.remaining = base.Seconds() * scale
+	run.lastUpdate = t.now()
+	t.linkRun(run)
 	t.scheduleCompletion(run)
+}
+
+// linkRun appends run to the in-service list.
+func (t *tier) linkRun(run *serviceRun) {
+	run.prev = t.runsTail
+	run.next = nil
+	if t.runsTail != nil {
+		t.runsTail.next = run
+	} else {
+		t.runsHead = run
+	}
+	t.runsTail = run
+}
+
+// unlinkRun removes run from the in-service list.
+func (t *tier) unlinkRun(run *serviceRun) {
+	if run.prev != nil {
+		run.prev.next = run.next
+	} else {
+		t.runsHead = run.next
+	}
+	if run.next != nil {
+		run.next.prev = run.prev
+	} else {
+		t.runsTail = run.prev
+	}
+	run.prev, run.next = nil, nil
 }
 
 // rate returns the tier's current drain rate in work-seconds per second.
@@ -142,24 +179,24 @@ func (t *tier) rate() float64 { return t.mult * t.scale }
 // scheduleCompletion (re)schedules the completion event for run based on
 // its remaining work and the tier's current rate.
 func (t *tier) scheduleCompletion(run *serviceRun) {
-	if run.ev != nil {
-		run.ev.Cancel()
-		run.ev = nil
-	}
+	run.ev.Cancel()
+	run.ev = sim.Event{}
 	r := t.rate()
 	if r <= 0 {
 		return // fully stalled; rescheduled when capacity returns
 	}
 	delay := time.Duration(run.remaining / r * float64(time.Second))
-	run.ev = t.net.engine.Schedule(delay, func() { t.serviceDone(run) })
+	run.ev = t.net.engine.ScheduleCall(delay, t, run)
 }
 
 // reconcile books the work done at the old rate into every in-flight
-// service and reschedules completions at the new rate (fluid model).
+// service and reschedules completions at the new rate (fluid model). The
+// list is walked in admission order, so the rescheduled events' tie-break
+// sequence is deterministic.
 func (t *tier) reconcile(apply func()) {
 	now := t.now()
 	oldRate := t.rate()
-	for _, run := range t.inService {
+	for run := t.runsHead; run != nil; run = run.next {
 		elapsed := (now - run.lastUpdate).Seconds()
 		run.remaining -= elapsed * oldRate
 		if run.remaining < 0 {
@@ -168,7 +205,7 @@ func (t *tier) reconcile(apply func()) {
 		run.lastUpdate = now
 	}
 	apply()
-	for _, run := range t.inService {
+	for run := t.runsHead; run != nil; run = run.next {
 		t.scheduleCompletion(run)
 	}
 }
@@ -199,13 +236,12 @@ func (t *tier) setScale(s float64) {
 
 func (t *tier) serviceDone(run *serviceRun) {
 	req := run.req
-	delete(t.inService, req)
+	t.unlinkRun(run)
+	t.net.putRun(run)
 	t.busyStations--
 	t.busy.Set(t.now(), float64(t.busyStations))
-	if len(t.waitingService) > 0 {
-		next := t.waitingService[0]
-		t.waitingService = t.waitingService[1:]
-		t.startService(next)
+	if t.waitingService.len() > 0 {
+		t.startService(t.waitingService.pop())
 	}
 
 	if t.net.cfg.Mode == ModeTandem {
@@ -236,10 +272,9 @@ func (t *tier) respond(req *Request) {
 func (t *tier) releaseSlot() {
 	t.inUse--
 	t.occupancy.Set(t.now(), float64(t.inUse))
-	if len(t.pendingAdmit) > 0 && !t.full() {
-		next := t.pendingAdmit[0]
-		t.pendingAdmit = t.pendingAdmit[1:]
-		t.backlog.Set(t.now(), float64(len(t.pendingAdmit)))
+	if t.pendingAdmit.len() > 0 && !t.full() {
+		next := t.pendingAdmit.pop()
+		t.backlog.Set(t.now(), float64(t.pendingAdmit.len()))
 		t.admit(next)
 	}
 }

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -49,34 +50,34 @@ func (li *LevelIntegrator) Integral(t time.Duration) float64 {
 	return total
 }
 
-// WindowAverage returns the time-weighted mean level over [from, to).
+// WindowAverage returns the time-weighted mean level over [from, to). It
+// binary-searches for the window start, so periodic utilization sampling
+// stays cheap no matter how long the transition history has grown.
 func (li *LevelIntegrator) WindowAverage(from, to time.Duration) float64 {
 	if to <= from {
 		return 0
 	}
-	var acc float64
+	// First transition strictly inside the window; the level in force at
+	// `from` is the one set by the transition before it (0 if none).
+	idx := sort.Search(len(li.transitions), func(i int) bool {
+		return li.transitions[i].T > from
+	})
 	level := 0.0
-	since := time.Duration(0)
-	for _, tr := range li.transitions {
+	if idx > 0 {
+		level = li.transitions[idx-1].V
+	}
+	var acc float64
+	since := from
+	for _, tr := range li.transitions[idx:] {
 		if tr.T >= to {
 			break
 		}
-		if tr.T > from {
-			start := since
-			if start < from {
-				start = from
-			}
-			acc += level * (tr.T - start).Seconds()
-		}
+		acc += level * (tr.T - since).Seconds()
 		level = tr.V
 		since = tr.T
 	}
-	start := since
-	if start < from {
-		start = from
-	}
-	if to > start {
-		acc += level * (to - start).Seconds()
+	if to > since {
+		acc += level * (to - since).Seconds()
 	}
 	return acc / (to - from).Seconds()
 }

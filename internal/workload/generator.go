@@ -38,8 +38,20 @@ func DefaultGeneratorConfig() GeneratorConfig {
 	}
 }
 
+// genRetrans is one pending page retransmission, pooled so the drop-retry
+// path allocates nothing in steady state.
+type genRetrans struct {
+	page    int
+	first   time.Duration
+	attempt int
+}
+
 // Generator drives a client population against a network and aggregates
-// client-observed response times.
+// client-observed response times. The steady-state session loop —
+// think, visit, submit, complete — performs no heap allocations: page
+// context rides on Request.UserData (small ints convert to `any` without
+// allocating), submissions reuse two prebuilt callbacks, and think/visit
+// and retransmission events use the engine's Actor path.
 type Generator struct {
 	engine  *sim.Engine
 	network *queueing.Network
@@ -56,6 +68,10 @@ type Generator struct {
 	clientRT *stats.Sample
 	perPage  []*stats.Sample
 	rtSeries *stats.TimeSeries // (completion time, RT in seconds), Fig 9d
+
+	onComplete  func(*queueing.Request)
+	onDrop      func(*queueing.Request)
+	freeRetrans []*genRetrans
 
 	recordSeries bool
 	requests     uint64
@@ -95,7 +111,36 @@ func NewGenerator(network *queueing.Network, cfg GeneratorConfig) (*Generator, e
 	for i := range g.perPage {
 		g.perPage[i] = stats.NewSample(256)
 	}
+	g.onComplete = func(req *queueing.Request) {
+		page := req.UserData.(int)
+		rt := req.ClientRT()
+		g.clientRT.Add(rt)
+		g.perPage[page].Add(rt)
+		if g.recordSeries {
+			g.rtSeries.Add(req.Done, rt.Seconds())
+		}
+		g.think(page)
+	}
+	g.onDrop = func(req *queueing.Request) {
+		g.drops++
+		g.handleDrop(req.UserData.(int), req)
+	}
 	return g, nil
+}
+
+// Act makes the generator the sim.Actor for its session events: a bare
+// int arg is the next page visit, a *genRetrans is a due retransmission.
+func (g *Generator) Act(arg any) {
+	if rec, ok := arg.(*genRetrans); ok {
+		page, first, attempt := rec.page, rec.first, rec.attempt
+		g.freeRetrans = append(g.freeRetrans, rec)
+		if !g.running {
+			return
+		}
+		g.submit(page, first, attempt)
+		return
+	}
+	g.visit(arg.(int))
 }
 
 // RecordSeries toggles per-completion (time, RT) series recording, used by
@@ -123,7 +168,7 @@ func (g *Generator) spawn(n int, rampUp time.Duration) {
 		} else {
 			delay = g.cfg.ThinkTime.Sample(rng)
 		}
-		g.engine.Schedule(delay, func() { g.visit(page) })
+		g.engine.ScheduleCall(delay, g, page)
 	}
 }
 
@@ -188,26 +233,18 @@ func (g *Generator) visit(page int) {
 	g.submit(page, 0, 0)
 }
 
-// submit sends one attempt of the current page request.
+// submit sends one attempt of the current page request. The page index
+// travels on UserData so the shared completion callbacks can attribute the
+// response without a per-request closure.
 func (g *Generator) submit(page int, firstAttempt time.Duration, attempt int) {
 	spec := g.cfg.Profile.Pages[page]
 	_, err := g.network.Submit(queueing.SubmitOpts{
 		Class:        spec.Class,
 		FirstAttempt: firstAttempt,
 		Attempt:      attempt,
-		OnComplete: func(req *queueing.Request) {
-			rt := req.ClientRT()
-			g.clientRT.Add(rt)
-			g.perPage[page].Add(rt)
-			if g.recordSeries {
-				g.rtSeries.Add(req.Done, rt.Seconds())
-			}
-			g.think(page)
-		},
-		OnDrop: func(req *queueing.Request) {
-			g.drops++
-			g.handleDrop(page, req)
-		},
+		UserData:     page,
+		OnComplete:   g.onComplete,
+		OnDrop:       g.onDrop,
 	})
 	if err != nil {
 		// Classes were validated at construction; a failure is a bug.
@@ -224,13 +261,17 @@ func (g *Generator) handleDrop(page int, req *queueing.Request) {
 		return
 	}
 	g.retrans++
-	first := req.FirstAttempt
-	g.engine.Schedule(g.cfg.Retransmit.RTO(next), func() {
-		if !g.running {
-			return
-		}
-		g.submit(page, first, next)
-	})
+	var rec *genRetrans
+	if k := len(g.freeRetrans); k > 0 {
+		rec = g.freeRetrans[k-1]
+		g.freeRetrans = g.freeRetrans[:k-1]
+	} else {
+		rec = &genRetrans{}
+	}
+	rec.page = page
+	rec.first = req.FirstAttempt
+	rec.attempt = next
+	g.engine.ScheduleCall(g.cfg.Retransmit.RTO(next), g, rec)
 }
 
 // think schedules the next page visit after a think-time draw.
@@ -240,7 +281,7 @@ func (g *Generator) think(page int) {
 	}
 	rng := g.engine.Rand()
 	next := samplePMF(rng, g.cfg.Profile.Transitions[page])
-	g.engine.Schedule(g.cfg.ThinkTime.Sample(rng), func() { g.visit(next) })
+	g.engine.ScheduleCall(g.cfg.ThinkTime.Sample(rng), g, next)
 }
 
 // samplePMF draws an index from a probability mass function.

@@ -89,7 +89,14 @@ type (
 	VictimProfile = memmodel.VictimProfile
 	// BandwidthPoint is one Figure 3 measurement.
 	BandwidthPoint = memmodel.BandwidthPoint
+	// ProfileSpec describes one bandwidth-profiling experiment.
+	ProfileSpec = memmodel.ProfileSpec
 )
+
+// PlanGoal is the analytical planning objective of PlanAttack: the minimum
+// acceptable damage and the stealth ceiling on millibottleneck duration.
+// (The runtime controller's objective is the separate Goal type.)
+type PlanGoal = analytical.Goal
 
 // Environments.
 const (
@@ -153,12 +160,17 @@ func RUBBoSModel() Model { return analytical.RUBBoS3Tier() }
 func PredictAttack(m Model, a ModelAttack) (Prediction, error) { return m.Predict(a) }
 
 // PlanAttack inverts the model: find the weakest attack parameters that
-// meet a damage goal under a stealth bound at the given burst interval.
-func PlanAttack(m Model, minImpact float64, maxMillibottleneck, interval time.Duration) (ModelAttack, error) {
-	return analytical.PlanAttack(m, analytical.Goal{
-		MinImpact:          minImpact,
-		MaxMillibottleneck: maxMillibottleneck,
-	}, interval)
+// meet the goal's damage floor under its stealth bound at the given burst
+// interval.
+func PlanAttack(m Model, goal PlanGoal, interval time.Duration) (ModelAttack, error) {
+	return analytical.PlanAttack(m, goal, interval)
+}
+
+// PlanAttackArgs is the positional-argument form of PlanAttack.
+//
+// Deprecated: use PlanAttack with a PlanGoal.
+func PlanAttackArgs(m Model, minImpact float64, maxMillibottleneck, interval time.Duration) (ModelAttack, error) {
+	return PlanAttack(m, PlanGoal{MinImpact: minImpact, MaxMillibottleneck: maxMillibottleneck}, interval)
 }
 
 // XeonE5_2603v3 returns the paper's private-cloud host model.
@@ -167,15 +179,25 @@ func XeonE5_2603v3() HostConfig { return memmodel.XeonE5_2603v3() }
 // EC2DedicatedHost returns the paper's EC2 dedicated-host model.
 func EC2DedicatedHost() HostConfig { return memmodel.EC2DedicatedHost() }
 
-// ProfileBandwidth measures the per-VM available memory bandwidth under a
-// given co-location and attack (the Section III profiling experiment).
+// Profile measures the per-VM available memory bandwidth under the given
+// co-location and attack (the Section III profiling experiment).
+func Profile(spec ProfileSpec) (BandwidthPoint, error) { return memmodel.Profile(spec) }
+
+// Sweep profiles 1..spec.VMs co-located VMs (one Figure 3 curve).
+func Sweep(spec ProfileSpec) ([]BandwidthPoint, error) { return memmodel.Sweep(spec) }
+
+// ProfileBandwidth is the positional-argument form of Profile.
+//
+// Deprecated: use Profile with a ProfileSpec.
 func ProfileBandwidth(cfg HostConfig, vms int, placement memmodel.PlacementMode, kind memmodel.AttackKind, lockDuty float64) (BandwidthPoint, error) {
-	return memmodel.ProfileBandwidth(cfg, vms, placement, kind, lockDuty)
+	return Profile(ProfileSpec{Host: cfg, VMs: vms, Placement: placement, Kind: kind, LockDuty: lockDuty})
 }
 
-// BandwidthSweep profiles 1..maxVMs co-located VMs (one Figure 3 curve).
+// BandwidthSweep is the positional-argument form of Sweep.
+//
+// Deprecated: use Sweep with a ProfileSpec.
 func BandwidthSweep(cfg HostConfig, maxVMs int, placement memmodel.PlacementMode, kind memmodel.AttackKind, lockDuty float64) ([]BandwidthPoint, error) {
-	return memmodel.BandwidthSweep(cfg, maxVMs, placement, kind, lockDuty)
+	return Sweep(ProfileSpec{Host: cfg, VMs: maxVMs, Placement: placement, Kind: kind, LockDuty: lockDuty})
 }
 
 // DefaultAutoScaler returns the modelled AWS trigger: 85% average CPU over

@@ -46,30 +46,60 @@ func TestFacadeAnalytical(t *testing.T) {
 	if !pred.QueuesAllFill || pred.Impact <= 0 {
 		t.Errorf("prediction wrong: %+v", pred)
 	}
-	planned, err := memca.PlanAttack(m, 0.05, time.Second, 2*time.Second)
+	goal := memca.PlanGoal{MinImpact: 0.05, MaxMillibottleneck: time.Second}
+	planned, err := memca.PlanAttack(m, goal, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if planned.L <= 0 || planned.D <= 0 {
 		t.Errorf("planned attack wrong: %+v", planned)
 	}
+	// The deprecated positional form must keep returning the same plan.
+	legacy, err := memca.PlanAttackArgs(m, 0.05, time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy != planned {
+		t.Errorf("PlanAttackArgs = %+v, want %+v", legacy, planned)
+	}
 }
 
 func TestFacadeBandwidthProfile(t *testing.T) {
 	cfg := memca.XeonE5_2603v3()
-	point, err := memca.ProfileBandwidth(cfg, 3, memca.PlacementSamePackage, memca.AttackMemoryLock, 1)
+	spec := memca.ProfileSpec{
+		Host: cfg, VMs: 3, Placement: memca.PlacementSamePackage,
+		Kind: memca.AttackMemoryLock, LockDuty: 1,
+	}
+	point, err := memca.Profile(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if point.PerVMMBps <= 0 {
 		t.Errorf("bandwidth point: %+v", point)
 	}
-	sweep, err := memca.BandwidthSweep(cfg, 4, memca.PlacementRandomPackage, memca.AttackBusSaturation, 0)
+	// The deprecated positional form must agree with the spec form.
+	legacy, err := memca.ProfileBandwidth(cfg, 3, memca.PlacementSamePackage, memca.AttackMemoryLock, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy != point {
+		t.Errorf("ProfileBandwidth = %+v, want %+v", legacy, point)
+	}
+	sweep, err := memca.Sweep(memca.ProfileSpec{
+		Host: cfg, VMs: 4, Placement: memca.PlacementRandomPackage, Kind: memca.AttackBusSaturation,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(sweep) != 4 {
 		t.Errorf("sweep points = %d", len(sweep))
+	}
+	legacySweep, err := memca.BandwidthSweep(cfg, 4, memca.PlacementRandomPackage, memca.AttackBusSaturation, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacySweep) != len(sweep) || legacySweep[len(legacySweep)-1] != sweep[len(sweep)-1] {
+		t.Errorf("BandwidthSweep disagrees with Sweep: %+v vs %+v", legacySweep, sweep)
 	}
 	ec2 := memca.EC2DedicatedHost()
 	if ec2.BusBandwidthMBps <= cfg.BusBandwidthMBps {
