@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race equivalence fuzz bench bench-smoke figures quick-figures demo clean
+.PHONY: all build vet lint test race equivalence fuzz bench bench-baseline bench-smoke figures quick-figures trace demo clean
 
 all: build vet lint test
 
@@ -33,16 +33,31 @@ equivalence:
 fuzz:
 	$(GO) test -run FuzzConfigJSON -fuzz FuzzConfigJSON -fuzztime 30s ./internal/core
 
-# Engine performance regression report: run the kernel and headline-figure
-# benchmarks for real (default benchtime) and diff them against the
-# checked-in pre-redesign baseline into BENCH_PR3.json.
+# Engine performance regression report and gate: run the kernel and
+# headline-figure benchmarks for real (default benchtime), diff them
+# against the checked-in baseline into BENCH.json, and fail on contract
+# violations — allocs/op may never grow (the zero-allocation hot paths,
+# traced and untraced, are exact contracts on any machine); ns/op is
+# additionally gated per the baseline's gate_ns_pct when the CPU matches
+# the one that produced the baseline. The unanchored QueueingThroughput
+# pattern also matches its Traced variant.
 BENCH_REGRESSION = BenchmarkEngineEvents|BenchmarkQueueingThroughput|BenchmarkFig2TailAmplification
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_REGRESSION)' -benchmem . \
 		| tee /dev/stderr \
-		| $(GO) run ./cmd/benchjson -baseline bench/baseline.json \
+		| $(GO) run ./cmd/benchjson -baseline bench/baseline.json -gate \
 			-args "go test -run ^$$ -bench '$(BENCH_REGRESSION)' -benchmem ." \
-			-o BENCH_PR3.json
+			-o BENCH.json
+
+# Deliberate baseline refresh: re-measure the regression set and rewrite
+# bench/baseline.json in place. gate_ns_pct resets to 0 on capture —
+# re-add tolerances by hand (they are contracts, not measurements).
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(BENCH_REGRESSION)' -benchmem . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -baseline-out bench/baseline.json \
+			-commit "$$(git rev-parse --short HEAD)" \
+			-note "captured by make bench-baseline"
 
 # One iteration of every benchmark — a fast smoke check that each figure
 # pipeline still runs end to end.
@@ -56,6 +71,12 @@ figures:
 
 quick-figures:
 	$(GO) run ./cmd/memca-bench -out out -quick
+
+# Per-request causal traces: attacked + baseline runs with full tracing,
+# exporting Chrome trace JSON, attribution CSVs, and dual-resolution
+# timelines into out/trace/.
+trace:
+	$(GO) run ./cmd/memca-trace -out out/trace
 
 # Live end-to-end demo on real sockets.
 demo:

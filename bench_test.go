@@ -21,6 +21,7 @@ import (
 	"memca/internal/queueing"
 	"memca/internal/sim"
 	"memca/internal/stats"
+	"memca/internal/telemetry"
 )
 
 func benchOpts() figures.Options {
@@ -231,6 +232,24 @@ func BenchmarkJitterEvasion(b *testing.B) {
 	}
 }
 
+// BenchmarkFigAttribution regenerates the latency-attribution figure:
+// attacked vs. baseline runs with full per-request tracing, tail
+// decomposition, and the dual-resolution blindness ratio.
+func BenchmarkFigAttribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.FigAttribution(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.AttackedP99.Milliseconds()), "attacked-p99-ms")
+		b.ReportMetric(res.AttackedWaitShare, "attacked-wait-share")
+		b.ReportMetric(res.AttackedBlindness, "blindness-ratio")
+		if res.AttackedWaitShare < 0.5 {
+			b.Fatal("attacked tail not wait-dominated")
+		}
+	}
+}
+
 // BenchmarkReplicateWorkers measures the sweep engine's wall-clock
 // scaling: 8 independent replications of a 30-second experiment at 1
 // worker (the serial path) versus 4. The replication set is identical in
@@ -289,6 +308,63 @@ func BenchmarkQueueingThroughput(b *testing.B) {
 			{Name: "c", QueueLimit: 25, Servers: 2, Service: sim.NewExponential(1600 * time.Microsecond)},
 		},
 		Classes: []queueing.Class{{Name: "full", Depth: 2}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := 0
+	var submit func()
+	submit = func() {
+		_, err := n.Submit(queueing.SubmitOpts{Class: 0, OnComplete: func(*queueing.Request) {
+			done++
+			if done < b.N {
+				submit()
+			}
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	submit()
+	if err := e.RunAll(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkQueueingThroughputTraced is BenchmarkQueueingThroughput with a
+// telemetry tracer attached: the per-request overhead of full span
+// recording, attribution stamping, sampling, and timeline booking. The
+// gap to the untraced benchmark is the enabled-tracing cost; -benchmem
+// must report 1 alloc/op — the same request-pool amortization as the
+// untraced path, with zero additional allocations from tracing.
+func BenchmarkQueueingThroughputTraced(b *testing.B) {
+	e := sim.NewEngine(1)
+	tr, err := telemetry.New(e, telemetry.Config{
+		Spec: telemetry.Spec{
+			MaxActive:   4096,
+			EventRing:   1 << 14,
+			TailKeep:    512,
+			HeadEvery:   64,
+			HeadKeep:    512,
+			Resolutions: []time.Duration{50 * time.Millisecond, time.Second},
+		},
+		Tiers:   3,
+		Seed:    1,
+		Horizon: time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := queueing.New(e, queueing.Config{
+		Mode: queueing.ModeNTierRPC,
+		Tiers: []queueing.TierConfig{
+			{Name: "a", QueueLimit: 100, Servers: 2, Service: sim.NewExponential(600 * time.Microsecond)},
+			{Name: "b", QueueLimit: 60, Servers: 2, Service: sim.NewExponential(1200 * time.Microsecond)},
+			{Name: "c", QueueLimit: 25, Servers: 2, Service: sim.NewExponential(1600 * time.Microsecond)},
+		},
+		Classes:  []queueing.Class{{Name: "full", Depth: 2}},
+		Observer: tr,
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	go test -bench 'Engine|Fig2' -benchmem . | benchjson -baseline bench/baseline.json -o BENCH_PR3.json
+//	go test -bench 'Engine|Fig2' -benchmem . | benchjson -baseline bench/baseline.json -o BENCH.json
+//
+// With -gate N the exit status enforces the performance contract: any
+// benchmark that regresses more than N% in ns/op against the baseline, or
+// allocates more objects per op than the baseline records, fails the run.
+// With -baseline-out the current numbers are also written in baseline
+// format, for deliberate refreshes of bench/baseline.json.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -27,11 +34,27 @@ type Result struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
+// BaselineEntry is one benchmark's reference measurement plus its
+// enforcement contract.
+type BaselineEntry struct {
+	Result
+	// GateNsPct is the ns/op regression tolerance -gate enforces for this
+	// benchmark, in percent. 0 gates allocations only — the right setting
+	// for benchmarks whose per-op wall time is backlog- or GC-shaped and
+	// too noisy for a tight bound.
+	GateNsPct float64 `json:"gate_ns_pct,omitempty"`
+}
+
 // Baseline is the checked-in reference measurement set.
 type Baseline struct {
-	Commit     string            `json:"commit"`
-	Note       string            `json:"note"`
-	Benchmarks map[string]Result `json:"benchmarks"`
+	Commit string `json:"commit"`
+	Note   string `json:"note"`
+	// CPU is the `cpu:` line of the run that produced the numbers. ns/op
+	// gates only fire when the current run reports the same CPU —
+	// wall-clock comparisons across machines are meaningless, while the
+	// allocation contract holds everywhere.
+	CPU        string                   `json:"cpu,omitempty"`
+	Benchmarks map[string]BaselineEntry `json:"benchmarks"`
 }
 
 // Delta compares one benchmark against its baseline. Reductions are
@@ -65,17 +88,21 @@ func main() {
 		baselinePath = flag.String("baseline", "", "baseline JSON to diff against")
 		outPath      = flag.String("o", "", "output file (default stdout)")
 		benchArgs    = flag.String("args", "", "free-form note recording how the numbers were produced")
+		gateOn       = flag.Bool("gate", false, "enforce the baseline's per-benchmark contract: allocs/op may never grow; ns/op may regress at most gate_ns_pct percent")
+		baseOutPath  = flag.String("baseline-out", "", "also write the current numbers in baseline format to this file")
+		commit       = flag.String("commit", "", "commit hash recorded in -baseline-out")
+		note         = flag.String("note", "", "note recorded in -baseline-out")
 	)
 	flag.Parse()
 
-	if err := run(*baselinePath, *outPath, *benchArgs); err != nil {
+	if err := run(*baselinePath, *outPath, *benchArgs, *gateOn, *baseOutPath, *commit, *note); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(baselinePath, outPath, benchArgs string) error {
-	current, err := parseBench(os.Stdin)
+func run(baselinePath, outPath, benchArgs string, gateOn bool, baseOutPath, commit, note string) error {
+	current, cpu, err := parseBench(os.Stdin)
 	if err != nil {
 		return err
 	}
@@ -114,10 +141,82 @@ func run(baselinePath, outPath, benchArgs string) error {
 	}
 	out = append(out, '\n')
 	if outPath == "" {
-		_, err = os.Stdout.Write(out)
+		if _, err := os.Stdout.Write(out); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(outPath, out, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(outPath, out, 0o644)
+
+	if baseOutPath != "" {
+		entries := make(map[string]BaselineEntry, len(current))
+		for name, res := range current {
+			// GateNsPct stays 0 on capture: the contract tolerance is a
+			// deliberate human edit, not a measurement.
+			entries[name] = BaselineEntry{Result: res}
+		}
+		raw, err := json.MarshalIndent(Baseline{Commit: commit, Note: note, CPU: cpu, Benchmarks: entries}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(baseOutPath, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if gateOn && rep.Baseline != nil {
+		gateNs := rep.Baseline.CPU != "" && rep.Baseline.CPU == cpu
+		if !gateNs {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: cpu %q does not match baseline %q; enforcing allocation contracts only\n", cpu, rep.Baseline.CPU)
+		}
+		if violations := gate(rep.Baseline.Benchmarks, current, gateNs); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "benchjson: gate:", v)
+			}
+			return fmt.Errorf("%d benchmark(s) violate the performance gate", len(violations))
+		}
+	}
+	return nil
+}
+
+// gate enforces each benchmark's contract against the baseline: allocs/op
+// may never grow — the zero-allocation hot paths are exact contracts, not
+// noisy measurements — and, when gateNs is set (same CPU as the
+// baseline), ns/op may regress at most the baseline's per-benchmark
+// gate_ns_pct. Benchmarks absent from the baseline pass (they gate once a
+// refresh records them).
+func gate(base map[string]BaselineEntry, current map[string]Result, gateNs bool) []string {
+	var violations []string
+	for _, name := range sortedKeys(current) {
+		ref, ok := base[name]
+		if !ok {
+			continue
+		}
+		cur := current[name]
+		if cur.AllocsPerOp > ref.AllocsPerOp {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f allocs/op, baseline %.0f — allocation regressions are never in tolerance",
+				name, cur.AllocsPerOp, ref.AllocsPerOp))
+		}
+		if !gateNs || ref.GateNsPct <= 0 {
+			continue
+		}
+		if reg := -reductionPct(ref.NsPerOp, cur.NsPerOp); reg > ref.GateNsPct {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.4g ns/op, baseline %.4g (+%.1f%%, tolerance %.1f%%)",
+				name, cur.NsPerOp, ref.NsPerOp, reg, ref.GateNsPct))
+		}
+	}
+	return violations
+}
+
+func sortedKeys(m map[string]Result) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // reductionPct is how much the metric shrank relative to the reference, in
@@ -129,13 +228,19 @@ func reductionPct(ref, cur float64) float64 {
 	return (ref - cur) / ref * 100
 }
 
-// parseBench extracts benchmark results from `go test -bench` text. The
-// "Benchmark" prefix and "-<GOMAXPROCS>" suffix are stripped from names.
-func parseBench(f *os.File) (map[string]Result, error) {
+// parseBench extracts benchmark results and the `cpu:` header from
+// `go test -bench` text. The "Benchmark" prefix and "-<GOMAXPROCS>"
+// suffix are stripped from names.
+func parseBench(f *os.File) (map[string]Result, string, error) {
 	out := make(map[string]Result)
+	cpu := ""
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
 		m := benchLine.FindStringSubmatch(sc.Text())
 		if m == nil {
 			continue
@@ -143,21 +248,21 @@ func parseBench(f *os.File) (map[string]Result, error) {
 		name := strings.TrimPrefix(m[1], "Benchmark")
 		ns, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("parse ns/op in %q: %w", sc.Text(), err)
+			return nil, "", fmt.Errorf("parse ns/op in %q: %w", sc.Text(), err)
 		}
 		res := Result{NsPerOp: ns}
 		if mem := memCols.FindStringSubmatch(m[3]); mem != nil {
 			if res.BPerOp, err = strconv.ParseFloat(mem[1], 64); err != nil {
-				return nil, fmt.Errorf("parse B/op in %q: %w", sc.Text(), err)
+				return nil, "", fmt.Errorf("parse B/op in %q: %w", sc.Text(), err)
 			}
 			if res.AllocsPerOp, err = strconv.ParseFloat(mem[2], 64); err != nil {
-				return nil, fmt.Errorf("parse allocs/op in %q: %w", sc.Text(), err)
+				return nil, "", fmt.Errorf("parse allocs/op in %q: %w", sc.Text(), err)
 			}
 		}
 		out[name] = res
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return out, nil
+	return out, cpu, nil
 }

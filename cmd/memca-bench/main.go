@@ -30,7 +30,7 @@ func main() {
 
 func run() error {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2, 3, 6, 7, 8, 9, 10, 11, table1, ablations, defense, evasion, detectors, crowd, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2, 3, 6, 7, 8, 9, 10, 11, table1, ablations, defense, evasion, detectors, crowd, attribution, all")
 		out      = flag.String("out", "out", "output directory for CSV artifacts")
 		quick    = flag.Bool("quick", false, "shorter horizons for a smoke run")
 		seed     = flag.Int64("seed", 1, "simulation seed")
@@ -43,22 +43,23 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "    run %d/%d\n", done, total)
 	}
 	targets := map[string]func(figures.Options) error{
-		"2":         runFig2,
-		"3":         runFig3,
-		"6":         runFig6,
-		"7":         runFig7,
-		"8":         runFig8,
-		"9":         runFig9,
-		"10":        runFig10,
-		"11":        runFig11,
-		"table1":    runTable1,
-		"ablations": runAblations,
-		"defense":   runDefense,
-		"evasion":   runEvasion,
-		"detectors": runDetectors,
-		"crowd":     runFlashCrowd,
+		"2":           runFig2,
+		"3":           runFig3,
+		"6":           runFig6,
+		"7":           runFig7,
+		"8":           runFig8,
+		"9":           runFig9,
+		"10":          runFig10,
+		"11":          runFig11,
+		"table1":      runTable1,
+		"ablations":   runAblations,
+		"defense":     runDefense,
+		"evasion":     runEvasion,
+		"detectors":   runDetectors,
+		"crowd":       runFlashCrowd,
+		"attribution": runAttribution,
 	}
-	order := []string{"table1", "3", "6", "7", "2", "9", "10", "11", "8", "ablations", "defense", "evasion", "detectors", "crowd"}
+	order := []string{"table1", "3", "6", "7", "2", "9", "10", "11", "8", "ablations", "defense", "evasion", "detectors", "crowd", "attribution"}
 
 	if *fig != "all" {
 		f, ok := targets[*fig]
@@ -100,6 +101,8 @@ func label(name string) string {
 		return "Detector comparison"
 	case "crowd":
 		return "Flash-crowd contrast"
+	case "attribution":
+		return "Critical-path attribution"
 	default:
 		return "Figure " + name
 	}
@@ -293,5 +296,20 @@ func runTable1(opts figures.Options) error {
 		fmt.Printf("  planned weakest attack for rho>=0.05, P_MB<1s: D=%.2f L=%v I=%v\n",
 			a.D, a.L.Round(time.Millisecond), a.I.Round(time.Millisecond))
 	}
+	return nil
+}
+
+func runAttribution(opts figures.Options) error {
+	res, err := figures.FigAttribution(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  attacked p99 %v (baseline %v)\n",
+		res.AttackedP99.Round(time.Millisecond), res.BaselineP99.Round(time.Millisecond))
+	fmt.Printf("  attacked >=p99 tail: wait share %.1f%% (retransmission %.1f%%) over %d traces\n",
+		res.AttackedWaitShare*100, res.AttackedRetransShare*100, res.AttackedTailTraces)
+	fmt.Printf("  baseline >=p99 tail: service share %.1f%%\n", res.BaselineServiceShare*100)
+	fmt.Printf("  monitoring blindness (50ms vs 1s peak): %.2fx attacked, %.2fx baseline\n",
+		res.AttackedBlindness, res.BaselineBlindness)
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"memca/internal/memmodel"
 	"memca/internal/monitor"
 	"memca/internal/queueing"
+	"memca/internal/telemetry"
 	"memca/internal/workload"
 )
 
@@ -166,6 +167,9 @@ type Config struct {
 	// RecordSeries keeps per-completion response-time points and enables
 	// the fine-grained snapshot figure.
 	RecordSeries bool
+	// Trace enables per-request causal tracing (see internal/telemetry);
+	// nil disables it, leaving the request path free of observer hooks.
+	Trace *telemetry.Spec
 	// LLCSamplePeriod, when positive, samples the victim and adversary
 	// VMs' LLC miss rates (Figure 11).
 	LLCSamplePeriod time.Duration
@@ -236,6 +240,11 @@ func (c Config) Validate() error {
 	}
 	if c.LLCSamplePeriod < 0 {
 		return fmt.Errorf("core: LLCSamplePeriod must be non-negative, got %v", c.LLCSamplePeriod)
+	}
+	if c.Trace != nil {
+		if err := c.Trace.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"memca/internal/monitor"
 	"memca/internal/queueing"
 	"memca/internal/sim"
+	"memca/internal/telemetry"
 	"memca/internal/workload"
 )
 
@@ -34,6 +35,8 @@ type Experiment struct {
 
 	llcVictim    *monitor.PeriodicSampler
 	llcAdversary *monitor.PeriodicSampler
+
+	tracer *telemetry.Tracer
 
 	ran bool
 }
@@ -78,21 +81,40 @@ func NewExperiment(cfg Config) (*Experiment, error) {
 	if tiers == nil {
 		tiers = workload.RUBBoSTiers()
 	}
-	x.network, err = queueing.New(x.engine, queueing.Config{
+	// The observer interface fields are only set when tracing is enabled:
+	// assigning a nil *Tracer would produce a non-nil interface and charge
+	// every lifecycle point a virtual call into a nil receiver.
+	netCfg := queueing.Config{
 		Mode:    queueing.ModeNTierRPC,
 		Tiers:   tiers,
 		Classes: workload.RUBBoSClasses(),
-	})
-	if err != nil {
-		return nil, err
 	}
-	x.gen, err = workload.NewGenerator(x.network, workload.GeneratorConfig{
+	genCfg := workload.GeneratorConfig{
 		Clients:    cfg.Clients,
 		ThinkTime:  sim.NewExponential(cfg.ThinkTime),
 		Profile:    workload.RUBBoSProfile(),
 		Retransmit: queueing.DefaultRetransmit(),
 		RampUp:     10 * time.Second,
-	})
+	}
+	if cfg.Trace != nil {
+		x.tracer, err = telemetry.New(x.engine, telemetry.Config{
+			Spec:      *cfg.Trace,
+			Tiers:     len(tiers),
+			TierNames: tierLabels(tiers),
+			Seed:      cfg.Seed,
+			Horizon:   cfg.Duration,
+		})
+		if err != nil {
+			return nil, err
+		}
+		netCfg.Observer = x.tracer
+		genCfg.Trace = x.tracer
+	}
+	x.network, err = queueing.New(x.engine, netCfg)
+	if err != nil {
+		return nil, err
+	}
+	x.gen, err = workload.NewGenerator(x.network, genCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -140,6 +162,23 @@ func NewExperiment(cfg Config) (*Experiment, error) {
 // victimTier is the bottleneck tier index (the back-most tier).
 func (x *Experiment) victimTier() int { return x.network.NumTiers() - 1 }
 
+// tierLabels extracts the tier names of a topology, falling back to the
+// canonical labels for unnamed tiers.
+func tierLabels(tiers []queueing.TierConfig) []string {
+	names := make([]string, len(tiers))
+	for i, t := range tiers {
+		switch {
+		case t.Name != "":
+			names[i] = t.Name
+		case i < len(tierNames):
+			names[i] = tierNames[i]
+		default:
+			names[i] = fmt.Sprintf("tier%d", i)
+		}
+	}
+	return names
+}
+
 func (x *Experiment) wireAttack(spec AttackSpec) error {
 	adversaries := make([]string, 0, spec.AdversaryVMs)
 	for i := 0; i < spec.AdversaryVMs; i++ {
@@ -171,30 +210,37 @@ func (x *Experiment) wireFeedback(spec FeedbackSpec) error {
 	// retransmitted after the TCP RTO, and the reported latency spans
 	// the whole exchange — so the commander sees the damage it causes.
 	policy := queueing.DefaultRetransmit()
-	var fire func(first time.Duration, attempt int, done func(rt time.Duration))
-	fire = func(first time.Duration, attempt int, done func(rt time.Duration)) {
+	var fire func(first time.Duration, attempt int, traceID uint64, done func(rt time.Duration))
+	fire = func(first time.Duration, attempt int, traceID uint64, done func(rt time.Duration)) {
 		_, err := x.network.Submit(queueing.SubmitOpts{
 			Class:        probeClass,
 			FirstAttempt: first,
 			Attempt:      attempt,
+			TraceID:      traceID,
 			OnComplete:   func(req *queueing.Request) { done(req.ClientRT()) },
 			OnDrop: func(req *queueing.Request) {
 				next := req.Attempt + 1
 				rto := policy.RTO(next)
 				if next > policy.MaxRetries {
 					// Give up; report the time burned so far.
+					if x.tracer != nil {
+						x.tracer.Abandon(req.TraceID)
+					}
 					done(x.engine.Now() + rto - req.FirstAttempt)
 					return
 				}
-				f := req.FirstAttempt
-				x.engine.Schedule(rto, func() { fire(f, next, done) })
+				f, id := req.FirstAttempt, req.TraceID
+				if x.tracer != nil {
+					x.tracer.RetransmitScheduled(id, next, x.engine.Now()+rto)
+				}
+				x.engine.Schedule(rto, func() { fire(f, next, id, done) })
 			},
 		})
 		if err != nil {
 			panic(err) // probeClass is a valid constant
 		}
 	}
-	submit := func(done func(rt time.Duration)) { fire(0, 0, done) }
+	submit := func(done func(rt time.Duration)) { fire(0, 0, 0, done) }
 	prober, err := control.NewProber(x.engine, spec.Prober, submit)
 	if err != nil {
 		return err
@@ -267,6 +313,9 @@ func (x *Experiment) RunContext(ctx context.Context) (*Report, error) {
 	x.gen.ResetMetrics()
 	x.network.ResetTierSamples()
 	measureStart := x.engine.Now()
+	if x.tracer != nil {
+		x.tracer.Reset(measureStart)
+	}
 
 	if x.burster != nil {
 		x.burster.Start()
@@ -366,6 +415,9 @@ func (x *Experiment) Scaling() *cloud.ScalingGroup { return x.scaling }
 
 // VictimHost exposes the physical host co-hosting MySQL and adversaries.
 func (x *Experiment) VictimHost() *cloud.HostNode { return x.victim }
+
+// Tracer exposes the per-request tracer, or nil when Config.Trace is unset.
+func (x *Experiment) Tracer() *telemetry.Tracer { return x.tracer }
 
 // LLCVictimSeries returns the sampled MySQL-VM LLC miss series, or nil.
 func (x *Experiment) LLCVictimSeries() *monitor.PeriodicSampler { return x.llcVictim }

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"memca/internal/telemetry"
+)
+
+// traceArtifacts runs one attacked experiment with tracing enabled and
+// exports every trace artifact into dir, returning each file's bytes.
+func traceArtifacts(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Duration = 45 * time.Second
+	cfg.Warmup = 10 * time.Second
+	spec := telemetry.DefaultSpec()
+	spec.TailKeep = 256
+	spec.EventRing = 1 << 14
+	cfg.Trace = &spec
+
+	x, err := NewExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tr := x.Tracer()
+	if tr == nil {
+		t.Fatal("tracing enabled but Tracer() is nil")
+	}
+	if tr.Closed() == 0 {
+		t.Fatal("tracer closed no traces")
+	}
+	if err := tr.WriteChromeTrace(filepath.Join(dir, "trace.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteAttributionCSV(filepath.Join(dir, "attribution.csv"), tr.TierNames(), tr.TailAttributions()); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteAttributionCSV(filepath.Join(dir, "attribution_head.csv"), tr.TierNames(), tr.HeadAttributions()); err != nil {
+		t.Fatal(err)
+	}
+	for _, tl := range tr.Timelines() {
+		name := filepath.Join(dir, "timeline_"+tl.Res.String()+".csv")
+		if err := telemetry.WriteTimelineCSV(name, tl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files := make(map[string][]byte)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[ent.Name()] = data
+	}
+	return files
+}
+
+// TestTraceExportDeterminism pins the tracing determinism contract:
+// two experiments built from the same seed export byte-identical Chrome
+// traces, attribution CSVs, and timelines. Tracing must be a pure
+// observer — if it ever perturbed the simulation (an engine RNG draw, a
+// map-order dependence, a time.Now leak), this is the test that catches
+// it.
+func TestTraceExportDeterminism(t *testing.T) {
+	a := traceArtifacts(t, t.TempDir())
+	b := traceArtifacts(t, t.TempDir())
+	if len(a) != len(b) {
+		t.Fatalf("run 1 wrote %d artifacts, run 2 wrote %d", len(a), len(b))
+	}
+	if len(a) < 4 {
+		t.Fatalf("expected trace + attributions + timelines, got %d files", len(a))
+	}
+	for name, want := range a {
+		got, ok := b[name]
+		if !ok {
+			t.Errorf("run 2 missing %s", name)
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s differs between identical-seed runs (%d vs %d bytes)", name, len(want), len(got))
+		}
+	}
+}

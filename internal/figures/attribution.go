@@ -1,0 +1,145 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"memca/internal/core"
+	"memca/internal/telemetry"
+)
+
+// AttributionResult captures the critical-path attribution experiment:
+// where the p99 tail's time actually goes, attacked vs baseline, and how
+// much of the latency signal coarse monitoring averages away.
+type AttributionResult struct {
+	// AttackedP99 / BaselineP99 are the client p99 response times.
+	AttackedP99 time.Duration
+	BaselineP99 time.Duration
+	// AttackedWaitShare is the fraction of the attacked run's >=p99 tail
+	// spent waiting (front-tier retransmission wait plus queueing) rather
+	// than in service. The paper's tail-amplification claim is that this
+	// dominates.
+	AttackedWaitShare float64
+	// AttackedRetransShare is the retransmission-wait fraction alone.
+	AttackedRetransShare float64
+	// BaselineServiceShare is the service fraction of the baseline run's
+	// >=p99 tail: without the attack, slow requests are slow because of
+	// work, not waiting.
+	BaselineServiceShare float64
+	// AttackedBlindness / BaselineBlindness are the 50ms-vs-1s peak
+	// window-mean RT ratios (see telemetry.BlindnessRatio).
+	AttackedBlindness float64
+	BaselineBlindness float64
+	// AttackedTailTraces is how many traces the attacked >=p99 breakdown
+	// summarizes.
+	AttackedTailTraces int
+}
+
+// attributionRun is one job's distilled output.
+type attributionRun struct {
+	p99       time.Duration
+	tail      []telemetry.Attribution
+	breakdown telemetry.Breakdown
+	blindness float64
+	timelines []*telemetry.Timeline
+	tierNames []string
+}
+
+// attributionResolutions are the dual monitoring resolutions contrasted by
+// the figure: fine enough to resolve a millibottleneck, and the 1-second
+// floor of typical cloud monitoring.
+var attributionResolutions = []time.Duration{50 * time.Millisecond, time.Second}
+
+// FigAttribution runs the attacked and baseline RUBBoS experiments with
+// per-request tracing and decomposes each run's >=p99 latency tail along
+// its critical path. It writes a component-share CSV, per-trace tail
+// attributions, and the dual-resolution timelines for both runs.
+func FigAttribution(opts Options) (*AttributionResult, error) {
+	if err := checkTiersMatch(); err != nil {
+		return nil, err
+	}
+	attacked := []bool{true, false}
+	runs, err := runJobs(opts, len(attacked), func(i int) (*attributionRun, error) {
+		cfg := core.DefaultConfig()
+		cfg.Seed = opts.Seed
+		cfg.Duration = opts.duration(3 * time.Minute)
+		if !attacked[i] {
+			cfg.Attack = nil
+		}
+		spec := telemetry.DefaultSpec()
+		spec.TailKeep = 4096
+		spec.Resolutions = attributionResolutions
+		cfg.Trace = &spec
+		x, err := core.NewExperiment(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("figures: attribution attacked=%v: %w", attacked[i], err)
+		}
+		rep, err := x.Run()
+		if err != nil {
+			return nil, fmt.Errorf("figures: attribution attacked=%v run: %w", attacked[i], err)
+		}
+		tr := x.Tracer()
+		run := &attributionRun{
+			p99:       rep.Client.P99,
+			tail:      tr.TailAttributions(),
+			timelines: tr.Timelines(),
+			tierNames: tr.TierNames(),
+		}
+		// Summarize only the traces at or above the run's own p99: the
+		// slowest-N sample reaches deeper, but the claim is about the tail
+		// percentile the paper reports.
+		over := run.tail[:0:0]
+		for j := range run.tail {
+			if run.tail[j].RT >= run.p99 {
+				over = append(over, run.tail[j])
+			}
+		}
+		run.breakdown = telemetry.Summarize(len(run.tierNames), over)
+		run.blindness = telemetry.BlindnessRatio(
+			tr.Timeline(attributionResolutions[0]), tr.Timeline(attributionResolutions[1]))
+		return run, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	att, base := runs[0], runs[1]
+	res := &AttributionResult{
+		AttackedP99:          att.p99,
+		BaselineP99:          base.p99,
+		AttackedWaitShare:    att.breakdown.WaitShare(),
+		AttackedRetransShare: share(att.breakdown.RetransWait, att.breakdown.RT),
+		BaselineServiceShare: base.breakdown.ServiceShare(),
+		AttackedBlindness:    att.blindness,
+		BaselineBlindness:    base.blindness,
+		AttackedTailTraces:   att.breakdown.Count,
+	}
+
+	if opts.OutDir != "" {
+		labels := []string{"attacked", "baseline"}
+		breakdowns := []telemetry.Breakdown{att.breakdown, base.breakdown}
+		if err := telemetry.WriteBreakdownCSV(opts.path("attribution.csv"), att.tierNames, labels, breakdowns); err != nil {
+			return nil, err
+		}
+		for i, run := range runs {
+			name := labels[i]
+			if err := telemetry.WriteAttributionCSV(opts.path(fmt.Sprintf("attribution_tail_%s.csv", name)), run.tierNames, run.tail); err != nil {
+				return nil, err
+			}
+			for _, tl := range run.timelines {
+				path := opts.path(fmt.Sprintf("attribution_timeline_%s_%dms.csv", name, tl.Res.Milliseconds()))
+				if err := telemetry.WriteTimelineCSV(path, tl); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func share(part, whole time.Duration) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}

@@ -60,6 +60,10 @@ var sweepDrivers = []struct {
 		res, err := FlashCrowd(o)
 		return fingerprint(res), err
 	}},
+	{"FigAttribution", func(o Options) (string, error) {
+		res, err := FigAttribution(o)
+		return fingerprint(res), err
+	}},
 }
 
 func fingerprint(res any) string { return fmt.Sprintf("%#v", res) }

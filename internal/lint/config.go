@@ -25,8 +25,10 @@ type Config struct {
 // workload generation, the cloud/attack/defense models, the analytical
 // model, statistics kernels, figure pipelines, the parallel sweep engine
 // (its goroutines carry independent single-threaded simulations and no
-// randomness of their own), and the orchestration layer that wires them
-// (core and the memca facade).
+// randomness of their own), the per-request telemetry tracer (a pure
+// observer of the simulation — any wall-clock or stray-RNG use would
+// break trace-export determinism), and the orchestration layer that
+// wires them (core and the memca facade).
 //
 // The clock-allowed set covers the packages that measure or interact with
 // the real world: the memcached-protocol framework and victim daemon that
@@ -48,6 +50,7 @@ func DefaultConfig() *Config {
 			"memca/internal/sim",
 			"memca/internal/stats",
 			"memca/internal/sweep",
+			"memca/internal/telemetry",
 			"memca/internal/trace",
 			"memca/internal/workload",
 		},

@@ -16,6 +16,7 @@ func TestSimPathCoversEngine(t *testing.T) {
 		"memca/internal/stats",
 		"memca/internal/core",
 		"memca/internal/sweep",
+		"memca/internal/telemetry",
 	} {
 		if !cfg.IsSimPath(path) {
 			t.Errorf("IsSimPath(%q) = false, want true", path)
@@ -24,6 +25,7 @@ func TestSimPathCoversEngine(t *testing.T) {
 	for _, path := range []string{
 		"memca/cmd/benchjson",
 		"memca/cmd/membench",
+		"memca/cmd/memca-trace",
 		"memca/examples/quickstart",
 	} {
 		if cfg.IsSimPath(path) {
@@ -43,12 +45,12 @@ func TestEngineFilesClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and typechecks real packages")
 	}
-	pkgs, err := Load("../..", "./internal/sim", "./internal/queueing", "./internal/workload", "./internal/core")
+	pkgs, err := Load("../..", "./internal/sim", "./internal/queueing", "./internal/workload", "./internal/core", "./internal/telemetry", "./cmd/memca-trace")
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
-	if len(pkgs) != 4 {
-		t.Fatalf("loaded %d packages, want 4", len(pkgs))
+	if len(pkgs) != 6 {
+		t.Fatalf("loaded %d packages, want 6", len(pkgs))
 	}
 	diags := Run(pkgs, Analyzers(), DefaultConfig())
 	for _, d := range diags {

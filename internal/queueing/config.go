@@ -114,6 +114,11 @@ type Config struct {
 	// OnDrop, when non-nil, observes every request rejected by the full
 	// front tier.
 	OnDrop func(*Request)
+	// Observer, when non-nil, receives every request lifecycle event (see
+	// SpanKind). Nil costs one branch per lifecycle point and nothing
+	// else, keeping the uninstrumented hot path identical to a network
+	// built without observation.
+	Observer Observer
 }
 
 // Validate reports the first configuration error, or nil.

@@ -20,11 +20,17 @@ type Network struct {
 	engine *sim.Engine
 	cfg    Config
 	tiers  []*tier
+	// obs receives lifecycle events when set (see Config.Observer); a
+	// nil observer costs one predictable branch per lifecycle point.
+	obs Observer
 
-	nextID    uint64
-	drops     uint64
-	completed uint64
-	inFlight  int
+	nextID uint64
+	// nextTraceID assigns trace identities to fresh (non-retransmitted)
+	// submissions; IDs start at 1 so zero always means "unset".
+	nextTraceID uint64
+	drops       uint64
+	completed   uint64
+	inFlight    int
 
 	// freeReqs and freeRuns are the recycling pools. Objects are reset on
 	// checkout, so a recycled Request still carries its final field values
@@ -42,7 +48,7 @@ func New(engine *sim.Engine, cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := &Network{engine: engine, cfg: cfg}
+	n := &Network{engine: engine, cfg: cfg, obs: cfg.Observer}
 	n.tiers = make([]*tier, len(cfg.Tiers))
 	for i, tc := range cfg.Tiers {
 		n.tiers[i] = newTier(tc, i, n)
@@ -109,6 +115,11 @@ type SubmitOpts struct {
 	FirstAttempt time.Duration
 	// Attempt is the retransmission count (0 = first).
 	Attempt int
+	// TraceID carries the logical trace identity across retransmission
+	// attempts; zero makes Submit assign a fresh one. Retransmitting
+	// clients must echo the dropped attempt's Request.TraceID here so
+	// observers can stitch the attempts into one trace.
+	TraceID uint64
 	// UserData is carried on the request.
 	UserData any
 	// OnComplete fires when the response reaches the client. The *Request
@@ -144,9 +155,23 @@ func (n *Network) Submit(opts SubmitOpts) (*Request, error) {
 	req.onComplete = opts.OnComplete
 	req.onDrop = opts.OnDrop
 	n.nextID++
+	if opts.TraceID != 0 {
+		req.TraceID = opts.TraceID
+	} else {
+		n.nextTraceID++
+		req.TraceID = n.nextTraceID
+	}
 	n.inFlight++
+	n.observe(req, SpanSubmit, -1)
 	n.tiers[0].requestSlot(req)
 	return req, nil
+}
+
+// observe dispatches one lifecycle event to the configured observer.
+func (n *Network) observe(req *Request, kind SpanKind, tier int) {
+	if n.obs != nil {
+		n.obs.Observe(req, kind, tier)
+	}
 }
 
 // advance moves a request that finished service at tier i: deeper if the
@@ -197,6 +222,7 @@ func (n *Network) hopArrive(req *Request) {
 	req.Done = n.engine.Now()
 	n.completed++
 	n.inFlight--
+	n.observe(req, SpanComplete, -1)
 	if req.onComplete != nil {
 		req.onComplete(req)
 	}

@@ -13,6 +13,18 @@ import "time"
 type Request struct {
 	// ID is unique per network, in submission order.
 	ID uint64
+	// TraceID links the retransmission attempts of one logical client
+	// request into a single causal trace. Submit assigns a fresh ID when
+	// SubmitOpts.TraceID is zero; retransmitting clients pass the
+	// original attempt's TraceID through so per-request telemetry can
+	// attribute the full retransmission wait to one trace.
+	TraceID uint64
+	// TraceSlot is scratch storage reserved for the network's Observer
+	// (see Config.Observer): an index into the observer's own per-trace
+	// state, claimed at SpanSubmit and read back on later events without
+	// any map lookup. The network resets it to -1 between uses and never
+	// interprets it; other callers must not touch it.
+	TraceSlot int32
 	// Class indexes Config.Classes.
 	Class int
 	// FirstAttempt is when the client first sent the request, across
@@ -61,6 +73,8 @@ const (
 // leak a prior run's timestamps into latency stats).
 func (r *Request) reset(depth int) {
 	r.ID = 0
+	r.TraceID = 0
+	r.TraceSlot = -1
 	r.Class = 0
 	r.FirstAttempt = 0
 	r.Submit = 0

@@ -26,6 +26,7 @@ type SourceConfig struct {
 type srcRetrans struct {
 	first   time.Duration
 	attempt int
+	traceID uint64
 }
 
 // Source generates Poisson arrivals into a network and records the
@@ -108,26 +109,28 @@ func (s *Source) Act(arg any) {
 		if s.stopped {
 			return
 		}
-		s.fire(0, 0)
+		s.fire(0, 0, 0)
 		s.scheduleNext()
 		return
 	}
 	rec := arg.(*srcRetrans)
-	first, attempt := rec.first, rec.attempt
+	first, attempt, traceID := rec.first, rec.attempt, rec.traceID
 	s.freeRecs = append(s.freeRecs, rec)
 	if s.stopped {
 		return
 	}
-	s.fire(first, attempt)
+	s.fire(first, attempt, traceID)
 }
 
-// fire submits one attempt. firstAttempt is zero for fresh requests.
-func (s *Source) fire(firstAttempt time.Duration, attempt int) {
+// fire submits one attempt. firstAttempt is zero for fresh requests;
+// traceID carries the original attempt's trace across retransmissions.
+func (s *Source) fire(firstAttempt time.Duration, attempt int, traceID uint64) {
 	s.sent++
 	_, err := s.network.Submit(SubmitOpts{
 		Class:        s.cfg.Class,
 		FirstAttempt: firstAttempt,
 		Attempt:      attempt,
+		TraceID:      traceID,
 		OnComplete:   s.onComplete,
 		OnDrop:       s.onDrop,
 	})
@@ -158,6 +161,7 @@ func (s *Source) handleDrop(req *Request) {
 	}
 	rec.first = req.FirstAttempt
 	rec.attempt = next
+	rec.traceID = req.TraceID
 	s.engine.ScheduleCall(rto, s, rec)
 }
 

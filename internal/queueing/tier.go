@@ -89,6 +89,7 @@ func (t *tier) full() bool {
 // which is exactly how the paper's per-tier response times amplify from
 // the back tier to the front.
 func (t *tier) requestSlot(req *Request) {
+	t.net.observe(req, SpanTierRequest, t.idx)
 	if !t.full() {
 		t.admit(req)
 		return
@@ -99,6 +100,7 @@ func (t *tier) requestSlot(req *Request) {
 		t.drops++
 		req.Dropped = true
 		t.net.drops++
+		t.net.observe(req, SpanDrop, t.idx)
 		t.net.notifyDrop(req)
 		return
 	}
@@ -108,28 +110,33 @@ func (t *tier) requestSlot(req *Request) {
 		t.drops++
 		req.Dropped = true
 		t.net.drops++
+		t.net.observe(req, SpanDrop, t.idx)
 		t.net.notifyDrop(req)
 		return
 	}
 	// RPC mode: the request blocks here, still holding its slots in
 	// every upstream tier — this is the cross-tier back-pressure that
 	// propagates queue overflow toward the front.
+	t.net.observe(req, SpanTierBlocked, t.idx)
 	t.pendingAdmit.push(req)
 	t.backlog.Set(t.now(), float64(t.pendingAdmit.len()))
 }
 
 func (t *tier) admit(req *Request) {
 	req.TierArrive[t.idx] = t.now()
+	t.net.observe(req, SpanTierAdmit, t.idx)
 	t.inUse++
 	t.occupancy.Set(t.now(), float64(t.inUse))
 	if t.busyStations < t.cfg.Servers {
 		t.startService(req)
 		return
 	}
+	t.net.observe(req, SpanStationWait, t.idx)
 	t.waitingService.push(req)
 }
 
 func (t *tier) startService(req *Request) {
+	t.net.observe(req, SpanServiceStart, t.idx)
 	t.busyStations++
 	t.busy.Set(t.now(), float64(t.busyStations))
 	base := t.cfg.Service.Sample(t.net.engine.Rand())
@@ -203,6 +210,7 @@ func (t *tier) reconcile(apply func()) {
 			run.remaining = 0
 		}
 		run.lastUpdate = now
+		t.net.observe(run.req, SpanServicePreempt, t.idx)
 	}
 	apply()
 	for run := t.runsHead; run != nil; run = run.next {
@@ -236,6 +244,7 @@ func (t *tier) setScale(s float64) {
 
 func (t *tier) serviceDone(run *serviceRun) {
 	req := run.req
+	t.net.observe(req, SpanServiceEnd, t.idx)
 	t.unlinkRun(run)
 	t.net.putRun(run)
 	t.busyStations--
@@ -247,6 +256,7 @@ func (t *tier) serviceDone(run *serviceRun) {
 	if t.net.cfg.Mode == ModeTandem {
 		// Independent tiers: leave this one entirely, then move on.
 		req.TierLeave[t.idx] = t.now()
+		t.net.observe(req, SpanTierRespond, t.idx)
 		t.rt.Add(req.TierRT(t.idx))
 		t.completions++
 		t.releaseSlot()
@@ -262,6 +272,7 @@ func (t *tier) serviceDone(run *serviceRun) {
 // slot.
 func (t *tier) respond(req *Request) {
 	req.TierLeave[t.idx] = t.now()
+	t.net.observe(req, SpanTierRespond, t.idx)
 	t.rt.Add(req.TierRT(t.idx))
 	t.completions++
 	t.releaseSlot()

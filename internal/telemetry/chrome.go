@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"memca/internal/queueing"
+)
+
+// chromeEvent is one Chrome trace-event (the about://tracing and Perfetto
+// interchange format). Field order fixes the JSON key order, keeping
+// exports byte-identical across runs.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Ph   string      `json:"ph"`
+	TS   float64     `json:"ts"`
+	Dur  *float64    `json:"dur,omitempty"`
+	PID  int         `json:"pid"`
+	TID  uint64      `json:"tid"`
+	S    string      `json:"s,omitempty"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+type chromeArgs struct {
+	Name     string   `json:"name,omitempty"`
+	Attempt  *int     `json:"attempt,omitempty"`
+	FireAtMs *float64 `json:"fire_at_ms,omitempty"`
+}
+
+// sort key: primary start time, secondary origin sequence number so ties
+// at one virtual instant keep the tracer's causal order.
+type chromeRecord struct {
+	ev  chromeEvent
+	ts  time.Duration
+	seq uint64
+}
+
+func usec(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+func msec(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// WriteChromeTrace reconstructs spans from a span-event sequence and
+// writes them as Chrome trace-event JSON, loadable in Perfetto or
+// about://tracing. Each tier is a process (pid = tier+1; the client is
+// pid 0) and each trace is a thread, so one row of the viewer shows one
+// request's full causal path: queue and service slabs per tier, drop and
+// retransmission markers in between.
+//
+// The ring may have overwritten the oldest events; spans whose start was
+// lost are skipped.
+func WriteChromeTrace(path string, tierNames []string, events []SpanEvent) (err error) {
+	type openSpan struct {
+		t   time.Duration
+		seq uint64
+		ok  bool
+	}
+	type spanKey struct {
+		trace uint64
+		tier  int8
+	}
+	queueOpen := make(map[spanKey]openSpan)
+	svcOpen := make(map[spanKey]openSpan)
+	reqOpen := make(map[uint64]openSpan)
+
+	recs := make([]chromeRecord, 0, len(events)+len(tierNames)+1)
+	addMeta := func(pid int, name string) {
+		recs = append(recs, chromeRecord{
+			ev: chromeEvent{Name: "process_name", Ph: "M", PID: pid, Args: &chromeArgs{Name: name}},
+		})
+	}
+	addMeta(0, "client")
+	for i, name := range tierNames {
+		addMeta(i+1, fmt.Sprintf("tier%d:%s", i, name))
+	}
+
+	addX := func(name string, pid int, trace uint64, open openSpan, end time.Duration, attempt uint16) {
+		dur := usec(end - open.t)
+		at := int(attempt)
+		recs = append(recs, chromeRecord{
+			ev: chromeEvent{
+				Name: name, Ph: "X", TS: usec(open.t), Dur: &dur,
+				PID: pid, TID: trace, Args: &chromeArgs{Attempt: &at},
+			},
+			ts: open.t, seq: open.seq,
+		})
+	}
+	addI := func(name string, pid int, e *SpanEvent, args *chromeArgs) {
+		recs = append(recs, chromeRecord{
+			ev: chromeEvent{Name: name, Ph: "i", TS: usec(e.T), PID: pid, TID: e.TraceID, S: "t", Args: args},
+			ts: e.T, seq: e.Seq,
+		})
+	}
+
+	for i := range events {
+		e := &events[i]
+		k := spanKey{e.TraceID, e.Tier}
+		switch e.Kind {
+		case EventKind(queueing.SpanSubmit):
+			if e.Attempt == 0 {
+				reqOpen[e.TraceID] = openSpan{e.T, e.Seq, true}
+			}
+		case EventKind(queueing.SpanTierRequest):
+			queueOpen[k] = openSpan{e.T, e.Seq, true}
+		case EventKind(queueing.SpanServiceStart):
+			if o := queueOpen[k]; o.ok {
+				addX("queue", int(e.Tier)+1, e.TraceID, o, e.T, e.Attempt)
+				delete(queueOpen, k)
+			}
+			svcOpen[k] = openSpan{e.T, e.Seq, true}
+		case EventKind(queueing.SpanServiceEnd):
+			if o := svcOpen[k]; o.ok {
+				addX("service", int(e.Tier)+1, e.TraceID, o, e.T, e.Attempt)
+				delete(svcOpen, k)
+			}
+		case EventKind(queueing.SpanServicePreempt):
+			addI("capacity-preempt", int(e.Tier)+1, e, nil)
+		case EventKind(queueing.SpanDrop):
+			delete(queueOpen, k)
+			addI("drop", int(e.Tier)+1, e, nil)
+		case EventKind(queueing.SpanComplete):
+			if o := reqOpen[e.TraceID]; o.ok {
+				addX("request", 0, e.TraceID, o, e.T, e.Attempt)
+				delete(reqOpen, e.TraceID)
+			}
+		case EvRetransmitScheduled:
+			at := int(e.Attempt)
+			fire := msec(e.Aux)
+			addI("retransmit-scheduled", 0, e, &chromeArgs{Attempt: &at, FireAtMs: &fire})
+		case EvAbandoned:
+			delete(reqOpen, e.TraceID)
+			addI("abandoned", 0, e, nil)
+		}
+	}
+
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].ts != recs[j].ts {
+			return recs[i].ts < recs[j].ts
+		}
+		return recs[i].seq < recs[j].seq
+	})
+
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("telemetry: creating directory for %s: %w", path, err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: creating %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("telemetry: closing %s: %w", path, cerr)
+		}
+	}()
+	// One event per line keeps the file diffable and the goldens readable.
+	if _, err := f.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return fmt.Errorf("telemetry: writing %s: %w", path, err)
+	}
+	for i := range recs {
+		data, err := json.Marshal(recs[i].ev)
+		if err != nil {
+			return fmt.Errorf("telemetry: marshaling event %d for %s: %w", i, path, err)
+		}
+		sep := ",\n"
+		if i == len(recs)-1 {
+			sep = "\n"
+		}
+		if _, err := f.Write(append(data, sep...)); err != nil {
+			return fmt.Errorf("telemetry: writing %s: %w", path, err)
+		}
+	}
+	if _, err := f.WriteString("],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return fmt.Errorf("telemetry: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteChromeTrace exports the tracer's event ring as Chrome trace-event
+// JSON.
+func (t *Tracer) WriteChromeTrace(path string) error {
+	return WriteChromeTrace(path, t.TierNames(), t.Events())
+}

@@ -24,6 +24,24 @@ type GeneratorConfig struct {
 	// RampUp staggers session starts uniformly over this window so all
 	// clients don't fire at once; zero means start with one think draw.
 	RampUp time.Duration
+	// Trace, when non-nil, observes the client-side trace events the
+	// network cannot see: scheduled retransmissions and abandoned pages.
+	Trace TraceHook
+}
+
+// TraceHook receives the client-side lifecycle events of a traced request
+// that happen outside the queueing network: the retransmission timer that
+// fires between a drop and the next submit, and the moment a client gives
+// up on a page. internal/telemetry implements it; the generator only needs
+// this narrow view, which keeps workload free of a telemetry dependency.
+type TraceHook interface {
+	// RetransmitScheduled fires when a dropped attempt is queued for
+	// retransmission: the client will resubmit trace traceID as attempt
+	// `attempt` at virtual time fireAt.
+	RetransmitScheduled(traceID uint64, attempt int, fireAt time.Duration)
+	// TraceAbandoned fires when the client gives up on the trace: retries
+	// exhausted, or the session retired with a retransmission pending.
+	TraceAbandoned(traceID uint64)
 }
 
 // DefaultGeneratorConfig returns the paper's workload: 3500 users, 7 s
@@ -44,6 +62,7 @@ type genRetrans struct {
 	page    int
 	first   time.Duration
 	attempt int
+	traceID uint64
 }
 
 // Generator drives a client population against a network and aggregates
@@ -132,12 +151,17 @@ func NewGenerator(network *queueing.Network, cfg GeneratorConfig) (*Generator, e
 // int arg is the next page visit, a *genRetrans is a due retransmission.
 func (g *Generator) Act(arg any) {
 	if rec, ok := arg.(*genRetrans); ok {
-		page, first, attempt := rec.page, rec.first, rec.attempt
+		page, first, attempt, traceID := rec.page, rec.first, rec.attempt, rec.traceID
 		g.freeRetrans = append(g.freeRetrans, rec)
 		if !g.running {
+			// The population stopped with this retransmission pending; the
+			// trace will never close on its own.
+			if g.cfg.Trace != nil {
+				g.cfg.Trace.TraceAbandoned(traceID)
+			}
 			return
 		}
-		g.submit(page, first, attempt)
+		g.submit(page, first, attempt, traceID)
 		return
 	}
 	g.visit(arg.(int))
@@ -230,18 +254,21 @@ func (g *Generator) visit(page int) {
 		return
 	}
 	g.requests++
-	g.submit(page, 0, 0)
+	g.submit(page, 0, 0, 0)
 }
 
 // submit sends one attempt of the current page request. The page index
 // travels on UserData so the shared completion callbacks can attribute the
-// response without a per-request closure.
-func (g *Generator) submit(page int, firstAttempt time.Duration, attempt int) {
+// response without a per-request closure. traceID is zero for first
+// attempts (the network assigns a fresh trace) and carries the original
+// trace across retransmissions.
+func (g *Generator) submit(page int, firstAttempt time.Duration, attempt int, traceID uint64) {
 	spec := g.cfg.Profile.Pages[page]
 	_, err := g.network.Submit(queueing.SubmitOpts{
 		Class:        spec.Class,
 		FirstAttempt: firstAttempt,
 		Attempt:      attempt,
+		TraceID:      traceID,
 		UserData:     page,
 		OnComplete:   g.onComplete,
 		OnDrop:       g.onDrop,
@@ -257,6 +284,9 @@ func (g *Generator) handleDrop(page int, req *queueing.Request) {
 	if g.cfg.Retransmit.RTOMin == 0 || next > g.cfg.Retransmit.MaxRetries {
 		// The user gives up on this page and browses on after thinking.
 		g.failures++
+		if g.cfg.Trace != nil {
+			g.cfg.Trace.TraceAbandoned(req.TraceID)
+		}
 		g.think(page)
 		return
 	}
@@ -271,7 +301,12 @@ func (g *Generator) handleDrop(page int, req *queueing.Request) {
 	rec.page = page
 	rec.first = req.FirstAttempt
 	rec.attempt = next
-	g.engine.ScheduleCall(g.cfg.Retransmit.RTO(next), g, rec)
+	rec.traceID = req.TraceID
+	rto := g.cfg.Retransmit.RTO(next)
+	if g.cfg.Trace != nil {
+		g.cfg.Trace.RetransmitScheduled(req.TraceID, next, g.engine.Now()+rto)
+	}
+	g.engine.ScheduleCall(rto, g, rec)
 }
 
 // think schedules the next page visit after a think-time draw.

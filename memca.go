@@ -31,6 +31,7 @@ import (
 	"memca/internal/memmodel"
 	"memca/internal/monitor"
 	"memca/internal/sweep"
+	"memca/internal/telemetry"
 )
 
 // Re-exported orchestration types.
@@ -58,6 +59,23 @@ type (
 	// ReplicateOptions control parallel replication.
 	ReplicateOptions = core.ReplicateOptions
 )
+
+// Re-exported per-request telemetry types (see internal/telemetry).
+type (
+	// TraceSpec enables per-request causal tracing via Config.Trace.
+	TraceSpec = telemetry.Spec
+	// Tracer reconstructs per-request traces; reach it through
+	// Experiment.Tracer.
+	Tracer = telemetry.Tracer
+	// TraceAttribution decomposes one traced request's response time.
+	TraceAttribution = telemetry.Attribution
+	// TraceBreakdown summarizes attribution records by component.
+	TraceBreakdown = telemetry.Breakdown
+)
+
+// DefaultTraceSpec returns tracer settings sized for the paper's
+// experiments (see telemetry.DefaultSpec).
+func DefaultTraceSpec() TraceSpec { return telemetry.DefaultSpec() }
 
 // Re-exported attack and control types.
 type (
