@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race equivalence fuzz bench bench-baseline bench-smoke figures quick-figures trace demo clean
+.PHONY: all build vet lint test race equivalence fuzz bench bench-baseline bench-smoke figures quick-figures trace demo demo-smoke clean
 
 all: build vet lint test
 
@@ -81,6 +81,15 @@ trace:
 # Live end-to-end demo on real sockets.
 demo:
 	$(GO) run ./cmd/memca-demo
+
+# Short traced demo run (real sockets, causal tracing on): exports Chrome
+# trace, OTLP/JSON, and attribution CSV into out/demo/ — the live half of
+# the shared telemetry pipeline, small enough for CI.
+demo-smoke:
+	$(GO) run ./cmd/memca-demo -duration 3s -clients 8 \
+		-trace-out out/demo/trace.json \
+		-otlp-out out/demo/otlp.json \
+		-attrib-out out/demo/attribution.csv
 
 clean:
 	rm -rf out

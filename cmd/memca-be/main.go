@@ -21,6 +21,8 @@ import (
 	"memca/internal/attack"
 	"memca/internal/control"
 	"memca/internal/memcafw"
+	"memca/internal/telemetry"
+	"memca/internal/telemetry/live"
 )
 
 func main() {
@@ -40,15 +42,31 @@ func run() error {
 		maxMB     = flag.Duration("max-millibottleneck", time.Second, "stealth bound on millibottleneck length")
 		decide    = flag.Duration("decide-every", 5*time.Second, "commander decision period")
 		duration  = flag.Duration("duration", 0, "stop after this long (0 = run until interrupted)")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace of the probes on exit (empty disables)")
+		otlpOut   = flag.String("otlp-out", "", "write an OTLP/JSON export of the probes on exit (empty disables)")
 	)
 	flag.Parse()
 	if *target == "" {
 		return fmt.Errorf("-target is required")
 	}
 
+	// With a trace target, probes carry trace context: each probe is a
+	// client-side trace (an instrumented victim's tiers see the header and
+	// record their own spans server-side).
+	var col *live.Collector
+	probe := memcafw.HTTPProbe(*target, *probeTmo)
+	if *traceOut != "" || *otlpOut != "" {
+		var err error
+		col, err = live.New(live.Config{Events: 1 << 16})
+		if err != nil {
+			return err
+		}
+		probe = memcafw.TracedHTTPProbe(*target, *probeTmo, col)
+	}
+
 	be, err := memcafw.NewBackend(memcafw.BackendConfig{
 		FEAddr:      *feAddr,
-		Probe:       memcafw.HTTPProbe(*target, *probeTmo),
+		Probe:       probe,
 		ProbePeriod: *probeEach,
 		Goal: control.Goal{
 			Percentile:         95,
@@ -77,5 +95,22 @@ func run() error {
 		ctx, cancel = context.WithTimeout(ctx, *duration)
 		defer cancel()
 	}
-	return be.Run(ctx)
+	runErr := be.Run(ctx)
+	if col != nil {
+		rep := col.Report()
+		log.Printf("memca-be traced %d probes (%d open, %d events dropped)",
+			len(rep.Attributions), rep.Open, rep.DroppedEvents)
+		if *traceOut != "" {
+			if err := telemetry.WriteChromeTrace(*traceOut, rep.TierNames, rep.Events); err != nil {
+				return err
+			}
+		}
+		if *otlpOut != "" {
+			spec := telemetry.OTLPSpec{ServicePrefix: "memca-be", EpochNanos: col.Epoch().UnixNano()}
+			if err := telemetry.WriteOTLP(*otlpOut, spec, rep.TierNames, rep.Events); err != nil {
+				return err
+			}
+		}
+	}
+	return runErr
 }

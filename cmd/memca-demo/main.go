@@ -6,7 +6,14 @@
 // over TCP. It prints per-phase client latency percentiles: baseline,
 // under attack, and after the attack stops.
 //
-//	go run ./cmd/memca-demo -duration 20s
+// With -trace-out/-otlp-out/-attrib-out the whole run is causally traced:
+// every client request carries a trace ID through web→app→db, each tier
+// records wall-clock spans into a shared collector, and the same exporters
+// the simulator uses write Chrome trace-event JSON, OTLP/JSON, and
+// per-trace attribution CSVs — one telemetry pipeline for simulated and
+// real runs.
+//
+//	go run ./cmd/memca-demo -duration 20s -trace-out out/demo/trace.json -otlp-out out/demo/otlp.json
 package main
 
 import (
@@ -17,12 +24,15 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"memca/internal/attack"
 	"memca/internal/control"
 	"memca/internal/memcafw"
+	"memca/internal/telemetry"
+	"memca/internal/telemetry/live"
 	"memca/internal/victimd"
 )
 
@@ -35,13 +45,29 @@ func main() {
 
 func run() error {
 	var (
-		phase   = flag.Duration("duration", 15*time.Second, "length of each phase (baseline, attack, recovery)")
-		clients = flag.Int("clients", 16, "closed-loop HTTP clients")
-		d       = flag.Float64("degradation", 0.05, "degradation index during bursts")
+		phase       = flag.Duration("duration", 15*time.Second, "length of each phase (baseline, attack, recovery)")
+		clients     = flag.Int("clients", 16, "closed-loop HTTP clients")
+		d           = flag.Float64("degradation", 0.05, "degradation index during bursts")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON of the live run (empty disables)")
+		otlpOut     = flag.String("otlp-out", "", "write an OTLP/JSON export of the live run (empty disables)")
+		attribOut   = flag.String("attrib-out", "", "write a per-trace attribution CSV of the live run (empty disables)")
+		traceEvents = flag.Int("trace-events", 1<<18, "live span-event log capacity when tracing")
 	)
 	flag.Parse()
 
-	sys, err := victimd.StartSystem(victimd.DefaultSystem())
+	// Any export target switches the full causal-tracing pipeline on.
+	var col *live.Collector
+	if *traceOut != "" || *otlpOut != "" || *attribOut != "" {
+		var err error
+		col, err = live.New(live.Config{Tiers: victimd.TierNames(), Events: *traceEvents})
+		if err != nil {
+			return err
+		}
+	}
+
+	sysCfg := victimd.DefaultSystem()
+	sysCfg.Trace = col
+	sys, err := victimd.StartSystem(sysCfg)
 	if err != nil {
 		return err
 	}
@@ -53,8 +79,22 @@ func run() error {
 	fmt.Printf("victim 3-tier system: web %s -> app %s -> db %s\n",
 		sys.Web.URL(), sys.App.URL(), sys.DB.URL())
 
-	// Closed-loop client population against the web tier.
-	lg := newLoadGen(sys.Web.URL()+"/", *clients)
+	// Closed-loop client population against the web tier; when tracing,
+	// every client request is a traced logical request with up to three
+	// attempts (the paper's RTO-driven retransmission behaviour).
+	var tcl *live.Client
+	if col != nil {
+		tcl, err = live.NewClient(live.ClientConfig{
+			Collector:   col,
+			HTTP:        &http.Client{Timeout: 5 * time.Second},
+			MaxAttempts: 3,
+			Backoff:     100 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	lg := newLoadGen(sys.Web.URL()+"/", *clients, tcl)
 	lg.Start()
 	defer lg.Stop()
 
@@ -94,9 +134,13 @@ func run() error {
 		}
 	}()
 
+	probe := memcafw.HTTPProbe(sys.Web.URL()+"/", 2*time.Second)
+	if col != nil {
+		probe = memcafw.TracedHTTPProbe(sys.Web.URL()+"/", 2*time.Second, col)
+	}
 	be, err := memcafw.NewBackend(memcafw.BackendConfig{
 		FEAddr:      fe.Addr(),
-		Probe:       memcafw.HTTPProbe(sys.Web.URL()+"/", 2*time.Second),
+		Probe:       probe,
 		ProbePeriod: 500 * time.Millisecond,
 		Goal:        control.Goal{Percentile: 95, TargetRT: 300 * time.Millisecond, MaxMillibottleneck: time.Second},
 		Bounds:      control.DefaultBounds(),
@@ -119,14 +163,124 @@ func run() error {
 	}
 
 	measure("recovery")
+
+	if col != nil {
+		if err := exportTrace(col, be, sys, *traceOut, *otlpOut, *attribOut); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// loadGen is a minimal closed-loop HTTP client population.
+// exportTrace assembles the live collector after the run quiesces, writes
+// the requested artifacts, and prints the per-request view an aggregate
+// monitor cannot give: the >=p99 critical-path decomposition, the
+// burst-aligned probe windows, and the coarse counters for contrast.
+func exportTrace(col *live.Collector, be *memcafw.Backend, sys *victimd.System, traceOut, otlpOut, attribOut string) error {
+	rep := col.Report()
+	fmt.Printf("\nlive trace: %d closed traces, %d still open, %d orphan spans, %d events dropped\n",
+		len(rep.Attributions), rep.Open, rep.Orphans, rep.DroppedEvents)
+
+	if traceOut != "" {
+		if err := telemetry.WriteChromeTrace(traceOut, rep.TierNames, rep.Events); err != nil {
+			return err
+		}
+		fmt.Printf("  chrome trace:    %s (%d span events)\n", traceOut, len(rep.Events))
+	}
+	if otlpOut != "" {
+		spec := telemetry.OTLPSpec{ServicePrefix: "memca-demo", EpochNanos: col.Epoch().UnixNano()}
+		if err := telemetry.WriteOTLP(otlpOut, spec, rep.TierNames, rep.Events); err != nil {
+			return err
+		}
+		fmt.Printf("  otlp export:     %s\n", otlpOut)
+	}
+	if attribOut != "" {
+		if err := telemetry.WriteAttributionCSV(attribOut, rep.TierNames, rep.Attributions); err != nil {
+			return err
+		}
+		fmt.Printf("  attribution csv: %s\n", attribOut)
+	}
+	if len(rep.Attributions) == 0 {
+		return nil
+	}
+
+	// The tail decomposition over the whole run's >=p99 traces.
+	p99 := rep.PercentileRT(99)
+	b := telemetry.Summarize(len(rep.TierNames), rep.TailOver(p99))
+	fmt.Printf("  >=p99 (%v) tail over %d traces: wait share %.1f%%, retransmission wait share %.1f%%\n",
+		p99.Round(time.Millisecond), b.Count, b.WaitShare()*100, share(b.RetransWait, b.RT)*100)
+	for i, tn := range rep.TierNames {
+		fmt.Printf("    %-4s queue %5.1f%%  service %5.1f%%\n",
+			tn, share(b.Queue[i], b.RT)*100, share(b.Service[i], b.RT)*100)
+	}
+
+	// Dual-resolution blindness on the live run.
+	if tls, err := rep.Timelines(50*time.Millisecond, time.Second); err == nil {
+		fmt.Printf("  monitoring blindness: 50ms vs 1s window-mean peak ratio %.2fx\n",
+			telemetry.BlindnessRatio(tls[0], tls[1]))
+	}
+
+	// Burst-aligned probe windows: how many bursts contain a tail probe.
+	wins := be.BurstWindows(500 * time.Millisecond)
+	hit := 0
+	for _, w := range wins {
+		if w.MaxRT() >= p99 {
+			hit++
+		}
+	}
+	fmt.Printf("  burst alignment: %d/%d burst windows contain a >=p99 probe\n", hit, len(wins))
+
+	// The coarse counters an operator would have had instead.
+	fmt.Printf("  coarse per-tier counters (the aggregate view):\n")
+	for _, tier := range []*victimd.Tier{sys.Web, sys.App, sys.DB} {
+		line, err := counterLine(tier.URL() + "/debug/counters")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("    %s\n", line)
+	}
+	return nil
+}
+
+func share(part, whole time.Duration) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}
+
+// counterLine fetches one tier's plaintext counters and compresses them
+// to a single display line.
+func counterLine(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return "", err
+	}
+	vals := map[string]string{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if f := strings.Fields(line); len(f) == 2 {
+			vals[strings.TrimPrefix(f[0], "victimd.")] = f[1]
+		}
+	}
+	return fmt.Sprintf("%-4s served=%s rejected=%s queue_wait_ns=%s service_ns=%s",
+		vals["tier"], vals["served"], vals["rejected"], vals["queue_wait_ns_total"], vals["service_ns_total"]), nil
+}
+
+// loadGen is a minimal closed-loop HTTP client population. With a traced
+// client each request becomes a traced logical request (retries included);
+// without one it degrades to plain GETs.
 type loadGen struct {
 	url     string
 	clients int
 	client  *http.Client
+	traced  *live.Client
 
 	mu    sync.Mutex
 	rts   []time.Duration
@@ -135,11 +289,12 @@ type loadGen struct {
 	wg    sync.WaitGroup
 }
 
-func newLoadGen(url string, clients int) *loadGen {
+func newLoadGen(url string, clients int, traced *live.Client) *loadGen {
 	return &loadGen{
 		url:     url,
 		clients: clients,
 		client:  &http.Client{Timeout: 5 * time.Second},
+		traced:  traced,
 		stopC:   make(chan struct{}),
 	}
 }
@@ -155,14 +310,7 @@ func (lg *loadGen) Start() {
 					return
 				default:
 				}
-				start := time.Now()
-				resp, err := lg.client.Get(lg.url)
-				ok := err == nil && resp.StatusCode == http.StatusOK
-				if err == nil {
-					_, _ = io.Copy(io.Discard, resp.Body)
-					_ = resp.Body.Close()
-				}
-				rt := time.Since(start)
+				rt, ok := lg.request()
 				lg.mu.Lock()
 				if ok {
 					lg.rts = append(lg.rts, rt)
@@ -179,6 +327,21 @@ func (lg *loadGen) Start() {
 			}
 		}()
 	}
+}
+
+func (lg *loadGen) request() (time.Duration, bool) {
+	if lg.traced != nil {
+		res := lg.traced.Get(context.Background(), lg.url)
+		return res.RT, res.OK
+	}
+	start := time.Now()
+	resp, err := lg.client.Get(lg.url)
+	ok := err == nil && resp.StatusCode == http.StatusOK
+	if err == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}
+	return time.Since(start), ok
 }
 
 func (lg *loadGen) Stop() {

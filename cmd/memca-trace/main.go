@@ -41,7 +41,8 @@ func run() error {
 		quick    = flag.Bool("quick", false, "shorter horizons for a smoke run (45s measured)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		tailKeep = flag.Int("tail", 4096, "slowest-N traces kept with full attribution")
-		ring     = flag.Int("events", 1<<18, "span-event ring capacity (0 disables the Chrome export)")
+		ring     = flag.Int("events", 1<<18, "span-event ring capacity (0 disables the Chrome and OTLP exports)")
+		otlp     = flag.Bool("otlp", true, "also export OTLP/JSON span batches per run")
 	)
 	flag.Parse()
 
@@ -60,7 +61,7 @@ func run() error {
 	}
 
 	for _, attacked := range runs {
-		if err := traceRun(*out, attacked, *duration, *warmup, *seed, *tailKeep, *ring); err != nil {
+		if err := traceRun(*out, attacked, *duration, *warmup, *seed, *tailKeep, *ring, *otlp); err != nil {
 			return err
 		}
 	}
@@ -68,7 +69,7 @@ func run() error {
 	return nil
 }
 
-func traceRun(out string, attacked bool, duration, warmup time.Duration, seed int64, tailKeep, ring int) error {
+func traceRun(out string, attacked bool, duration, warmup time.Duration, seed int64, tailKeep, ring int, otlp bool) error {
 	name := "baseline"
 	if attacked {
 		name = "attacked"
@@ -106,6 +107,13 @@ func traceRun(out string, attacked bool, duration, warmup time.Duration, seed in
 			return err
 		}
 		fmt.Printf("  %s: %d span events (%d overwritten)\n", path, len(tr.Events()), tr.EventsDropped())
+		if otlp {
+			path := filepath.Join(out, fmt.Sprintf("otlp_%s.json", name))
+			if err := tr.WriteOTLP(path, telemetry.DefaultOTLPSpec()); err != nil {
+				return err
+			}
+			fmt.Printf("  %s: OTLP span batches\n", path)
+		}
 	}
 	tail := tr.TailAttributions()
 	if err := telemetry.WriteAttributionCSV(filepath.Join(out, fmt.Sprintf("attribution_%s.csv", name)), tierNames, tail); err != nil {

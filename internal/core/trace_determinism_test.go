@@ -38,6 +38,9 @@ func traceArtifacts(t *testing.T, dir string) map[string][]byte {
 	if err := tr.WriteChromeTrace(filepath.Join(dir, "trace.json")); err != nil {
 		t.Fatal(err)
 	}
+	if err := tr.WriteOTLP(filepath.Join(dir, "otlp.json"), telemetry.DefaultOTLPSpec()); err != nil {
+		t.Fatal(err)
+	}
 	if err := telemetry.WriteAttributionCSV(filepath.Join(dir, "attribution.csv"), tr.TierNames(), tr.TailAttributions()); err != nil {
 		t.Fatal(err)
 	}

@@ -58,6 +58,11 @@ func DefaultConfig() *Config {
 			"memca/internal/memcafw",
 			"memca/internal/victimd",
 			"memca/internal/monitor",
+			// The live collector timestamps real-socket spans; it sits
+			// beside the sim tracer in internal/telemetry but on the
+			// wall-clock side of the boundary (SimPath entries are exact,
+			// so the parent package stays under the contract).
+			"memca/internal/telemetry/live",
 			"memca/cmd/...",
 			"memca/examples/...",
 		},

@@ -12,6 +12,7 @@ import (
 
 	"memca/internal/attack"
 	"memca/internal/control"
+	"memca/internal/telemetry/live"
 )
 
 // ProbeFunc measures the target system's response time once. HTTPProbe
@@ -39,6 +40,87 @@ func HTTPProbe(url string, timeout time.Duration) ProbeFunc {
 		}
 		return time.Since(start), nil
 	}
+}
+
+// TracedHTTPProbe is HTTPProbe with client-side causal tracing: each
+// probe mints a trace ID, injects the trace header so every victimd tier
+// records its spans, and closes the trace (complete on 200, abandoned on
+// timeout or refusal). The probes then appear in the collector's report
+// alongside the load generator's traffic.
+func TracedHTTPProbe(url string, timeout time.Duration, col *live.Collector) ProbeFunc {
+	client := &http.Client{Timeout: timeout}
+	return func(ctx context.Context) (time.Duration, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return 0, fmt.Errorf("memcafw: building probe: %w", err)
+		}
+		id := col.NextTraceID()
+		req.Header.Set(live.TraceHeader, live.FormatTraceHeader(id, 0))
+		start := time.Now()
+		col.Record(id, live.KindSubmit, live.ClientTier, 0, 0)
+		resp, err := client.Do(req)
+		if err != nil {
+			// A timed-out probe is a damage signal: report the timeout
+			// itself as the observed latency.
+			col.Record(id, live.KindAbandoned, live.ClientTier, 0, 0)
+			return timeout, nil
+		}
+		status := resp.StatusCode
+		if err := resp.Body.Close(); err != nil {
+			col.Record(id, live.KindAbandoned, live.ClientTier, 0, 0)
+			return 0, fmt.Errorf("memcafw: closing probe body: %w", err)
+		}
+		if status == http.StatusOK {
+			col.Record(id, live.KindComplete, live.ClientTier, 0, 0)
+		} else {
+			col.Record(id, live.KindAbandoned, live.ClientTier, 0, 0)
+		}
+		return time.Since(start), nil
+	}
+}
+
+// ProbeSample is one timestamped probe measurement. The BE keeps the full
+// timestamped history (not just the smoothing window) so tail spikes can
+// be aligned with attack bursts after the run.
+type ProbeSample struct {
+	// At is when the probe completed.
+	At time.Time
+	// RT is the observed response time.
+	RT time.Duration
+}
+
+// TimedReport is a burst report stamped with its receive time at the BE,
+// anchoring the FE's relative telemetry on the BE's clock.
+type TimedReport struct {
+	BurstReport
+	// At is when the BE received the report (just after the burst ended).
+	At time.Time
+}
+
+// BurstWindow aligns one attack burst with the probe samples observed
+// around it: the window spans the burst's execution (receive time minus
+// the reported execution time) padded on both sides, so the drain phase
+// after the burst — where the paper's tail amplification lives — is
+// captured too.
+type BurstWindow struct {
+	// Report is the burst's telemetry.
+	Report TimedReport
+	// Start and End bound the window.
+	Start, End time.Time
+	// Samples are the probe measurements inside the window, in time order.
+	Samples []ProbeSample
+}
+
+// MaxRT returns the worst probe response time in the window, or 0 when
+// no probe landed inside it.
+func (w BurstWindow) MaxRT() time.Duration {
+	var max time.Duration
+	for _, s := range w.Samples {
+		if s.RT > max {
+			max = s.RT
+		}
+	}
+	return max
 }
 
 // BackendConfig parameterizes MemCA-BE.
@@ -71,8 +153,8 @@ type Backend struct {
 	commander *control.Commander
 
 	mu       sync.Mutex
-	window   []time.Duration
-	reports  []BurstReport
+	samples  []ProbeSample
+	reports  []TimedReport
 	feHello  Hello
 	lastSent attack.Params
 
@@ -133,24 +215,65 @@ func (b *Backend) FEInfo() Hello { return b.feHello }
 // Commander exposes the controller for inspection.
 func (b *Backend) Commander() *control.Commander { return b.commander }
 
-// Reports returns a copy of the burst reports received so far.
-func (b *Backend) Reports() []BurstReport {
+// Reports returns a copy of the burst reports received so far, each
+// stamped with its receive time.
+func (b *Backend) Reports() []TimedReport {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	out := make([]BurstReport, len(b.reports))
+	out := make([]TimedReport, len(b.reports))
 	copy(out, b.reports)
 	return out
 }
 
-// TailRT returns the current window percentile of probe response times.
+// ProbeSamples returns a copy of the full timestamped probe history.
+func (b *Backend) ProbeSamples() []ProbeSample {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]ProbeSample, len(b.samples))
+	copy(out, b.samples)
+	return out
+}
+
+// BurstWindows aligns every received burst report with the probe samples
+// around it: each window covers the burst's execution plus pad on both
+// sides. This is the timestamped replacement for the old flat RT ring —
+// it lets live attribution correlate tail spans with burst intervals.
+func (b *Backend) BurstWindows(pad time.Duration) []BurstWindow {
+	reports := b.Reports()
+	samples := b.ProbeSamples()
+	out := make([]BurstWindow, 0, len(reports))
+	for _, r := range reports {
+		w := BurstWindow{
+			Report: r,
+			Start:  r.At.Add(-time.Duration(r.ExecMs)*time.Millisecond - pad),
+			End:    r.At.Add(pad),
+		}
+		for _, s := range samples {
+			if !s.At.Before(w.Start) && !s.At.After(w.End) {
+				w.Samples = append(w.Samples, s)
+			}
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// TailRT returns the configured-window percentile of the most recent
+// probe response times.
 func (b *Backend) TailRT(pct float64) time.Duration {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if len(b.window) == 0 {
+	if len(b.samples) == 0 {
 		return 0
 	}
-	cp := make([]time.Duration, len(b.window))
-	copy(cp, b.window)
+	recent := b.samples
+	if len(recent) > b.cfg.Window {
+		recent = recent[len(recent)-b.cfg.Window:]
+	}
+	cp := make([]time.Duration, len(recent))
+	for i, s := range recent {
+		cp[i] = s.RT
+	}
 	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
 	idx := int(pct / 100 * float64(len(cp)-1))
 	return cp[idx]
@@ -177,7 +300,7 @@ func (b *Backend) Run(ctx context.Context) error {
 			}
 			if env.Type == MsgBurstReport {
 				b.mu.Lock()
-				b.reports = append(b.reports, *env.Report)
+				b.reports = append(b.reports, TimedReport{BurstReport: *env.Report, At: time.Now()})
 				b.mu.Unlock()
 			}
 		}
@@ -249,13 +372,14 @@ func (b *Backend) shutdown() error {
 	return nil
 }
 
+// record appends one timestamped probe sample. The full history is kept
+// (one sample per probe period, bounded by run length) so burst windows
+// can be cut out of it after the fact; TailRT reads only the recent
+// cfg.Window samples.
 func (b *Backend) record(rt time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.window = append(b.window, rt)
-	if len(b.window) > b.cfg.Window {
-		b.window = b.window[len(b.window)-b.cfg.Window:]
-	}
+	b.samples = append(b.samples, ProbeSample{At: time.Now(), RT: rt})
 }
 
 // lastExec returns the FE's latest execution-time report as the

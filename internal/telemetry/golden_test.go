@@ -147,6 +147,13 @@ func TestGoldenTimelineCSV(t *testing.T) {
 	})
 }
 
+func TestGoldenOTLP(t *testing.T) {
+	tr := goldenScenario(t)
+	checkGolden(t, "otlp.json", func(path string) error {
+		return tr.WriteOTLP(path, DefaultOTLPSpec())
+	})
+}
+
 func TestGoldenBreakdownCSV(t *testing.T) {
 	tr := goldenScenario(t)
 	names := tr.TierNames()

@@ -1,0 +1,402 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+
+	"memca/internal/queueing"
+)
+
+// The OTLP exporter emits the standard OTLP/JSON trace encoding (the
+// protobuf JSON mapping of opentelemetry.proto.trace.v1) without any
+// OpenTelemetry dependency, so simulated and live runs alike can be loaded
+// into Jaeger, Tempo, or any other OTLP-speaking backend. Each tier is a
+// resource (service.name = "<prefix>-<tier>"); the client is its own
+// resource. Per trace, the client-side request span is the root, and every
+// tier visit contributes queue and service child spans linked to it, with
+// drops, retransmission scheduling, capacity preemptions, and abandonment
+// recorded as span events on the root.
+
+// DefaultOTLPEpochNanos anchors virtual time zero at a fixed absolute
+// instant (2020-01-01T00:00:00Z) so simulated exports are byte-identical
+// across runs yet still load into wall-clock tooling.
+const DefaultOTLPEpochNanos int64 = 1577836800000000000
+
+// OTLPSpec parameterizes the OTLP export.
+type OTLPSpec struct {
+	// ServicePrefix prefixes each resource's service.name: the client
+	// resource is "<prefix>-client" and tier i is "<prefix>-<tierName>".
+	ServicePrefix string
+	// EpochNanos is the absolute unix-nano timestamp of event time zero.
+	// Simulated runs should keep the fixed default so same-seed exports
+	// stay byte-identical; live runs pass their collector's base time.
+	EpochNanos int64
+}
+
+// DefaultOTLPSpec returns the deterministic simulation-export settings.
+func DefaultOTLPSpec() OTLPSpec {
+	return OTLPSpec{ServicePrefix: "memca", EpochNanos: DefaultOTLPEpochNanos}
+}
+
+// Validate reports the first spec error, or nil.
+func (s OTLPSpec) Validate() error {
+	if s.ServicePrefix == "" {
+		return fmt.Errorf("telemetry: OTLP service prefix must not be empty")
+	}
+	if s.EpochNanos < 0 {
+		return fmt.Errorf("telemetry: OTLP epoch must be >= 0, got %d", s.EpochNanos)
+	}
+	return nil
+}
+
+// OTLP/JSON shapes. Field order fixes the JSON key order, keeping exports
+// byte-identical across runs. Per the protobuf JSON mapping, fixed64
+// timestamps are encoded as decimal strings and enums as numbers.
+type otlpValue struct {
+	StringValue *string  `json:"stringValue,omitempty"`
+	IntValue    *string  `json:"intValue,omitempty"`
+	DoubleValue *float64 `json:"doubleValue,omitempty"`
+}
+
+type otlpKeyValue struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+func strAttr(key, v string) otlpKeyValue {
+	return otlpKeyValue{Key: key, Value: otlpValue{StringValue: &v}}
+}
+
+func intAttr(key string, v int64) otlpKeyValue {
+	s := strconv.FormatInt(v, 10)
+	return otlpKeyValue{Key: key, Value: otlpValue{IntValue: &s}}
+}
+
+func doubleAttr(key string, v float64) otlpKeyValue {
+	return otlpKeyValue{Key: key, Value: otlpValue{DoubleValue: &v}}
+}
+
+type otlpSpanEvent struct {
+	TimeUnixNano string         `json:"timeUnixNano"`
+	Name         string         `json:"name"`
+	Attributes   []otlpKeyValue `json:"attributes,omitempty"`
+}
+
+type otlpStatus struct {
+	Message string `json:"message,omitempty"`
+	Code    int    `json:"code,omitempty"`
+}
+
+type otlpSpan struct {
+	TraceID           string          `json:"traceId"`
+	SpanID            string          `json:"spanId"`
+	ParentSpanID      string          `json:"parentSpanId,omitempty"`
+	Name              string          `json:"name"`
+	Kind              int             `json:"kind"`
+	StartTimeUnixNano string          `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string          `json:"endTimeUnixNano"`
+	Attributes        []otlpKeyValue  `json:"attributes,omitempty"`
+	Events            []otlpSpanEvent `json:"events,omitempty"`
+	Status            *otlpStatus     `json:"status,omitempty"`
+}
+
+// OTLP span kind and status code enum values (trace.v1).
+const (
+	otlpKindInternal = 1
+	otlpKindServer   = 2
+	otlpKindClient   = 3
+
+	otlpStatusOK    = 1
+	otlpStatusError = 2
+)
+
+// Span-ID derivation: a splitmix64 finalizer over (traceID, role, tier,
+// attempt) yields IDs that are deterministic, order-independent, and
+// resolvable for parent links even when the root's submit event was lost
+// to the ring.
+const (
+	otlpRoleRoot    = 0
+	otlpRoleQueue   = 1
+	otlpRoleService = 2
+)
+
+func otlpSpanID(traceID uint64, role, tier, attempt int) string {
+	x := traceID*0x9e3779b97f4a7c15 + uint64(role)<<32 + uint64(tier+1)<<16 + uint64(attempt)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1 // OTLP forbids the all-zero span ID
+	}
+	return fmt.Sprintf("%016x", x)
+}
+
+func otlpTraceID(traceID uint64) string { return fmt.Sprintf("%032x", traceID) }
+
+// otlpTraceState accumulates one trace's root-span bookkeeping during the
+// event walk.
+type otlpTraceState struct {
+	start     time.Duration
+	end       time.Duration
+	started   bool
+	ended     bool
+	abandoned bool
+	drops     int
+	events    []otlpSpanEvent
+	lastT     time.Duration
+	order     int
+}
+
+// WriteOTLP reconstructs spans from a span-event sequence (the shared
+// vocabulary of the simulator's Observer and the live collector) and
+// writes them as OTLP/JSON. Spans whose start was lost to ring overwrite
+// are skipped, mirroring WriteChromeTrace.
+func WriteOTLP(path string, spec OTLPSpec, tierNames []string, events []SpanEvent) (err error) {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	nanos := func(t time.Duration) string {
+		return strconv.FormatInt(spec.EpochNanos+t.Nanoseconds(), 10)
+	}
+
+	type openSpan struct {
+		t  time.Duration
+		ok bool
+	}
+	type spanKey struct {
+		trace uint64
+		tier  int8
+	}
+	queueOpen := make(map[spanKey]openSpan)
+	svcOpen := make(map[spanKey]openSpan)
+	traces := make(map[uint64]*otlpTraceState)
+	order := 0
+	state := func(id uint64, t time.Duration) *otlpTraceState {
+		st, ok := traces[id]
+		if !ok {
+			st = &otlpTraceState{start: t, order: order}
+			order++
+			traces[id] = st
+		}
+		st.lastT = t
+		return st
+	}
+
+	// tierSpans[i] collects tier i's finished queue/service spans; the
+	// client resource holds only root spans, assembled after the walk.
+	tierSpans := make([][]otlpSpan, len(tierNames))
+	addTierSpan := func(role int, name string, e *SpanEvent, open openSpan) {
+		tier := int(e.Tier)
+		if tier < 0 || tier >= len(tierNames) {
+			return
+		}
+		attempt := int(e.Attempt)
+		kind := otlpKindServer
+		if role == otlpRoleQueue {
+			kind = otlpKindInternal
+		}
+		tierSpans[tier] = append(tierSpans[tier], otlpSpan{
+			TraceID:           otlpTraceID(e.TraceID),
+			SpanID:            otlpSpanID(e.TraceID, role, tier, attempt),
+			ParentSpanID:      otlpSpanID(e.TraceID, otlpRoleRoot, -1, 0),
+			Name:              tierNames[tier] + "/" + name,
+			Kind:              kind,
+			StartTimeUnixNano: nanos(open.t),
+			EndTimeUnixNano:   nanos(e.T),
+			Attributes: []otlpKeyValue{
+				intAttr("memca.tier", int64(tier)),
+				intAttr("memca.attempt", int64(attempt)),
+			},
+		})
+	}
+	rootEvent := func(st *otlpTraceState, e *SpanEvent, name string, attrs ...otlpKeyValue) {
+		st.events = append(st.events, otlpSpanEvent{
+			TimeUnixNano: nanos(e.T),
+			Name:         name,
+			Attributes:   attrs,
+		})
+	}
+
+	for i := range events {
+		e := &events[i]
+		k := spanKey{e.TraceID, e.Tier}
+		switch e.Kind {
+		case EventKind(queueing.SpanSubmit):
+			st := state(e.TraceID, e.T)
+			if e.Attempt == 0 {
+				st.start = e.T
+				st.started = true
+			}
+		case EventKind(queueing.SpanTierRequest):
+			state(e.TraceID, e.T)
+			queueOpen[k] = openSpan{e.T, true}
+		case EventKind(queueing.SpanServiceStart):
+			state(e.TraceID, e.T)
+			if o := queueOpen[k]; o.ok {
+				addTierSpan(otlpRoleQueue, "queue", e, o)
+				delete(queueOpen, k)
+			}
+			svcOpen[k] = openSpan{e.T, true}
+		case EventKind(queueing.SpanServiceEnd):
+			state(e.TraceID, e.T)
+			if o := svcOpen[k]; o.ok {
+				addTierSpan(otlpRoleService, "service", e, o)
+				delete(svcOpen, k)
+			}
+		case EventKind(queueing.SpanServicePreempt):
+			st := state(e.TraceID, e.T)
+			rootEvent(st, e, "capacity-preempt", intAttr("memca.tier", int64(e.Tier)))
+		case EventKind(queueing.SpanDrop):
+			st := state(e.TraceID, e.T)
+			st.drops++
+			delete(queueOpen, k)
+			rootEvent(st, e, "drop",
+				intAttr("memca.tier", int64(e.Tier)),
+				intAttr("memca.attempt", int64(e.Attempt)))
+		case EventKind(queueing.SpanComplete):
+			st := state(e.TraceID, e.T)
+			st.end = e.T
+			st.ended = true
+		case EvRetransmitScheduled:
+			st := state(e.TraceID, e.T)
+			rootEvent(st, e, "retransmit-scheduled",
+				intAttr("memca.attempt", int64(e.Attempt)),
+				doubleAttr("memca.fire_at_ms", msec(e.Aux)))
+		case EvAbandoned:
+			st := state(e.TraceID, e.T)
+			st.end = e.T
+			st.ended = true
+			st.abandoned = true
+			rootEvent(st, e, "abandoned")
+		}
+	}
+
+	// Root spans, in first-appearance order. Traces still open at export
+	// (the post-run drain) end at their last observed event with an unset
+	// status, so no child span is ever left without its parent.
+	ids := make([]uint64, 0, len(traces))
+	for id := range traces {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return traces[ids[i]].order < traces[ids[j]].order })
+	rootSpans := make([]otlpSpan, 0, len(ids))
+	for _, id := range ids {
+		st := traces[id]
+		end := st.end
+		if !st.ended {
+			end = st.lastT
+		}
+		sp := otlpSpan{
+			TraceID:           otlpTraceID(id),
+			SpanID:            otlpSpanID(id, otlpRoleRoot, -1, 0),
+			Name:              "request",
+			Kind:              otlpKindClient,
+			StartTimeUnixNano: nanos(st.start),
+			EndTimeUnixNano:   nanos(end),
+			Attributes:        []otlpKeyValue{intAttr("memca.drops", int64(st.drops))},
+			Events:            st.events,
+		}
+		switch {
+		case st.abandoned:
+			sp.Status = &otlpStatus{Message: "abandoned", Code: otlpStatusError}
+		case st.ended:
+			sp.Status = &otlpStatus{Code: otlpStatusOK}
+		}
+		rootSpans = append(rootSpans, sp)
+	}
+
+	// Tier spans in deterministic (start, traceId, name) order per tier.
+	for i := range tierSpans {
+		s := tierSpans[i]
+		sort.SliceStable(s, func(a, b int) bool {
+			if s[a].StartTimeUnixNano != s[b].StartTimeUnixNano {
+				// Equal-width decimal strings are rare; compare numerically.
+				x, _ := strconv.ParseInt(s[a].StartTimeUnixNano, 10, 64)
+				y, _ := strconv.ParseInt(s[b].StartTimeUnixNano, 10, 64)
+				return x < y
+			}
+			if s[a].TraceID != s[b].TraceID {
+				return s[a].TraceID < s[b].TraceID
+			}
+			return s[a].Name < s[b].Name
+		})
+	}
+
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("telemetry: creating directory for %s: %w", path, err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: creating %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("telemetry: closing %s: %w", path, cerr)
+		}
+	}()
+
+	// One span per line keeps the file diffable and the goldens readable.
+	write := func(s string) error {
+		if _, werr := f.WriteString(s); werr != nil {
+			return fmt.Errorf("telemetry: writing %s: %w", path, werr)
+		}
+		return nil
+	}
+	writeResource := func(service string, attrs []otlpKeyValue, spans []otlpSpan, last bool) error {
+		res := struct {
+			Attributes []otlpKeyValue `json:"attributes"`
+		}{Attributes: append([]otlpKeyValue{strAttr("service.name", service)}, attrs...)}
+		resData, merr := json.Marshal(res)
+		if merr != nil {
+			return fmt.Errorf("telemetry: marshaling resource %s: %w", service, merr)
+		}
+		if err := write("{\"resource\":" + string(resData) +
+			",\"scopeSpans\":[{\"scope\":{\"name\":\"memca/telemetry\"},\"spans\":[\n"); err != nil {
+			return err
+		}
+		for i := range spans {
+			data, merr := json.Marshal(&spans[i])
+			if merr != nil {
+				return fmt.Errorf("telemetry: marshaling span %d of %s: %w", i, service, merr)
+			}
+			sep := ",\n"
+			if i == len(spans)-1 {
+				sep = "\n"
+			}
+			if err := write(string(data) + sep); err != nil {
+				return err
+			}
+		}
+		sep := ",\n"
+		if last {
+			sep = "\n"
+		}
+		return write("]}]}" + sep)
+	}
+
+	if err := write("{\"resourceSpans\":[\n"); err != nil {
+		return err
+	}
+	if err := writeResource(spec.ServicePrefix+"-client", nil, rootSpans, len(tierNames) == 0); err != nil {
+		return err
+	}
+	for i, name := range tierNames {
+		attrs := []otlpKeyValue{intAttr("memca.tier", int64(i))}
+		if err := writeResource(spec.ServicePrefix+"-"+name, attrs, tierSpans[i], i == len(tierNames)-1); err != nil {
+			return err
+		}
+	}
+	return write("]}\n")
+}
+
+// WriteOTLP exports the tracer's event ring as OTLP/JSON.
+func (t *Tracer) WriteOTLP(path string, spec OTLPSpec) error {
+	return WriteOTLP(path, spec, t.TierNames(), t.Events())
+}

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// otlpDoc mirrors just enough of the OTLP/JSON schema to validate the
+// export structurally.
+type otlpDoc struct {
+	ResourceSpans []struct {
+		Resource struct {
+			Attributes []struct {
+				Key   string `json:"key"`
+				Value struct {
+					StringValue string `json:"stringValue"`
+				} `json:"value"`
+			} `json:"attributes"`
+		} `json:"resource"`
+		ScopeSpans []struct {
+			Scope struct {
+				Name string `json:"name"`
+			} `json:"scope"`
+			Spans []struct {
+				TraceID      string `json:"traceId"`
+				SpanID       string `json:"spanId"`
+				ParentSpanID string `json:"parentSpanId"`
+				Name         string `json:"name"`
+				Kind         int    `json:"kind"`
+				Start        string `json:"startTimeUnixNano"`
+				End          string `json:"endTimeUnixNano"`
+				Events       []struct {
+					Name string `json:"name"`
+				} `json:"events"`
+				Status *struct {
+					Message string `json:"message"`
+					Code    int    `json:"code"`
+				} `json:"status"`
+			} `json:"spans"`
+		} `json:"scopeSpans"`
+	} `json:"resourceSpans"`
+}
+
+// TestOTLPStructure checks the export against the OTLP contract: one
+// resource per tier plus the client, 32/16-hex IDs, every tier span's
+// parent link resolving to an emitted root span, drop/retransmit/abandon
+// recorded as span events, and span status reflecting the trace outcome.
+func TestOTLPStructure(t *testing.T) {
+	tr := goldenScenario(t)
+	path := filepath.Join(t.TempDir(), "otlp.json")
+	if err := tr.WriteOTLP(path, DefaultOTLPSpec()); err != nil {
+		t.Fatalf("WriteOTLP: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc otlpDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if got, want := len(doc.ResourceSpans), 3; got != want {
+		t.Fatalf("resourceSpans = %d, want %d (client + 2 tiers)", got, want)
+	}
+
+	services := make([]string, 0, 3)
+	rootIDs := make(map[string]bool)
+	var rootOK, rootErr, abandoned int
+	events := make(map[string]int)
+	for ri, rs := range doc.ResourceSpans {
+		var service string
+		for _, a := range rs.Resource.Attributes {
+			if a.Key == "service.name" {
+				service = a.Value.StringValue
+			}
+		}
+		if service == "" {
+			t.Errorf("resource %d missing service.name", ri)
+		}
+		services = append(services, service)
+		for _, ss := range rs.ScopeSpans {
+			if ss.Scope.Name != "memca/telemetry" {
+				t.Errorf("scope name %q", ss.Scope.Name)
+			}
+			for _, sp := range ss.Spans {
+				if len(sp.TraceID) != 32 || len(sp.SpanID) != 16 {
+					t.Errorf("span %s/%s: traceId %q spanId %q ill-sized", service, sp.Name, sp.TraceID, sp.SpanID)
+				}
+				if sp.Start > sp.End && len(sp.Start) == len(sp.End) {
+					t.Errorf("span %s/%s ends before it starts (%s > %s)", service, sp.Name, sp.Start, sp.End)
+				}
+				if sp.Name == "request" {
+					rootIDs[sp.TraceID+"/"+sp.SpanID] = true
+					if sp.ParentSpanID != "" {
+						t.Errorf("root span has parent %q", sp.ParentSpanID)
+					}
+					if sp.Status != nil {
+						switch sp.Status.Code {
+						case 1:
+							rootOK++
+						case 2:
+							rootErr++
+							if sp.Status.Message == "abandoned" {
+								abandoned++
+							}
+						}
+					}
+					for _, ev := range sp.Events {
+						events[ev.Name]++
+					}
+				}
+			}
+		}
+	}
+	if services[0] != "memca-client" || services[1] != "memca-apache" || services[2] != "memca-tomcat" {
+		t.Errorf("service names = %v", services)
+	}
+
+	// Every tier span must link to an emitted root span of its own trace.
+	for _, rs := range doc.ResourceSpans[1:] {
+		for _, ss := range rs.ScopeSpans {
+			for _, sp := range ss.Spans {
+				if !rootIDs[sp.TraceID+"/"+sp.ParentSpanID] {
+					t.Errorf("tier span %s (trace %s) parent %q does not resolve to a root span",
+						sp.Name, sp.TraceID, sp.ParentSpanID)
+				}
+			}
+		}
+	}
+
+	// The golden scenario closes 4 traces: 3 completions and 1 abandonment,
+	// with one drop per trace 3 and 4 and one retransmission scheduling.
+	if rootOK != 3 {
+		t.Errorf("spans with OK status = %d, want 3", rootOK)
+	}
+	if rootErr != 1 || abandoned != 1 {
+		t.Errorf("error/abandoned roots = %d/%d, want 1/1", rootErr, abandoned)
+	}
+	if events["drop"] != 2 {
+		t.Errorf("drop span events = %d, want 2", events["drop"])
+	}
+	if events["retransmit-scheduled"] != 1 {
+		t.Errorf("retransmit-scheduled span events = %d, want 1", events["retransmit-scheduled"])
+	}
+	if events["abandoned"] != 1 {
+		t.Errorf("abandoned span events = %d, want 1", events["abandoned"])
+	}
+}
+
+func TestOTLPSpecValidation(t *testing.T) {
+	if err := (OTLPSpec{ServicePrefix: "", EpochNanos: 0}).Validate(); err == nil {
+		t.Error("empty prefix accepted")
+	}
+	if err := (OTLPSpec{ServicePrefix: "x", EpochNanos: -1}).Validate(); err == nil {
+		t.Error("negative epoch accepted")
+	}
+	if err := DefaultOTLPSpec().Validate(); err != nil {
+		t.Errorf("default spec invalid: %v", err)
+	}
+}

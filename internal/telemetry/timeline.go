@@ -1,6 +1,9 @@
 package telemetry
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // TimelinePoint aggregates the traces that closed inside one window.
 type TimelinePoint struct {
@@ -39,6 +42,28 @@ type Timeline struct {
 func newTimeline(res, horizon time.Duration) *Timeline {
 	n := int(horizon/res) + 1
 	return &Timeline{Res: res, points: make([]TimelinePoint, 0, n)}
+}
+
+// NewTimeline builds a standalone timeline covering [0, horizon] at the
+// given resolution. The simulator's Tracer builds its own timelines; this
+// constructor exists for offline assembly — the live collector books
+// wall-clock attributions into the same structure so BlindnessRatio and
+// the CSV export work identically on real runs.
+func NewTimeline(res, horizon time.Duration) (*Timeline, error) {
+	if res <= 0 {
+		return nil, fmt.Errorf("telemetry: timeline resolution must be positive, got %v", res)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("telemetry: timeline horizon must be positive, got %v", horizon)
+	}
+	return newTimeline(res, horizon), nil
+}
+
+// Add books one closed trace into its window: end is the close time, rt
+// the client response time, queue the trace's total queueing time, and
+// drops its dropped-attempt count.
+func (tl *Timeline) Add(end, rt, queue time.Duration, drops int) {
+	tl.add(end, rt, queue, drops)
 }
 
 // reset clears the timeline and rebases window 0 at base.

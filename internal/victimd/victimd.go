@@ -25,6 +25,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"memca/internal/telemetry/live"
 )
 
 // TierConfig describes one tier of the live system.
@@ -41,6 +43,15 @@ type TierConfig struct {
 	// before being shed (the TCP accept queue's patience). Zero sheds
 	// immediately.
 	AcquireTimeout time.Duration
+	// Trace, when non-nil, receives causal span events for requests that
+	// carry trace context (the live analogue of the simulator's
+	// queueing.Observer). Requests without a trace header are served but
+	// not traced. Nil disables tracing with zero overhead beyond one
+	// nil check per lifecycle point.
+	Trace *live.Collector
+	// TierIndex is this tier's index in the collector's tier-name table;
+	// only meaningful when Trace is set.
+	TierIndex int
 }
 
 // Validate reports the first tier error, or nil.
@@ -54,6 +65,11 @@ func (c TierConfig) Validate() error {
 	if c.Service < 0 {
 		return fmt.Errorf("victimd: tier %q service must be non-negative, got %v", c.Name, c.Service)
 	}
+	if c.Trace != nil {
+		if names := c.Trace.TierNames(); c.TierIndex < 0 || c.TierIndex >= len(names) {
+			return fmt.Errorf("victimd: tier %q trace index %d out of range [0,%d)", c.Name, c.TierIndex, len(names))
+		}
+	}
 	return nil
 }
 
@@ -63,6 +79,7 @@ type Tier struct {
 	listener net.Listener
 	server   *http.Server
 	client   *http.Client
+	okBody   []byte
 
 	// slots is the worker-pool semaphore; acquisition is non-blocking:
 	// a full pool rejects with 503, modelling the finite accept queue.
@@ -71,8 +88,14 @@ type Tier struct {
 	// the control endpoint. Stored as millis to stay atomic.
 	slowdown atomic.Int64
 
-	served   atomic.Int64
-	rejected atomic.Int64
+	// Always-on aggregate counters — the coarse view an operator's
+	// monitoring would see, deliberately cheaper and blinder than the
+	// per-request trace (the paper's detection-blindness contrast).
+	served      atomic.Int64
+	rejected    atomic.Int64
+	inflight    atomic.Int64
+	queueWaitNs atomic.Int64
+	serviceNs   atomic.Int64
 }
 
 // StartTier binds a tier to addr (":0" for an ephemeral port) and serves
@@ -89,6 +112,7 @@ func StartTier(addr string, cfg TierConfig) (*Tier, error) {
 		cfg:      cfg,
 		listener: ln,
 		client:   &http.Client{Timeout: 10 * time.Second},
+		okBody:   []byte(cfg.Name + " ok\n"),
 		slots:    make(chan struct{}, cfg.Workers),
 	}
 	t.slowdown.Store(1000)
@@ -96,6 +120,7 @@ func StartTier(addr string, cfg TierConfig) (*Tier, error) {
 	mux.HandleFunc("/", t.handle)
 	mux.HandleFunc("/control/capacity", t.handleCapacity)
 	mux.HandleFunc("/stats", t.handleStats)
+	mux.HandleFunc("/debug/counters", t.handleCounters)
 	t.server = &http.Server{Handler: mux}
 	go func() {
 		if err := t.server.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -132,30 +157,69 @@ func (t *Tier) Close() error {
 }
 
 func (t *Tier) handle(w http.ResponseWriter, r *http.Request) {
+	// Trace context rides in on the request header; requests without it
+	// (or with tracing disabled) take the identical path minus recording.
+	var traceID uint64
+	var attempt int
+	traced := false
+	if t.cfg.Trace != nil {
+		traceID, attempt, traced = live.ParseTraceHeader(r.Header.Get(live.TraceHeader))
+	}
+	if traced {
+		t.cfg.Trace.Record(traceID, live.KindTierRequest, t.cfg.TierIndex, attempt, 0)
+	}
+
+	enq := time.Now()
 	if !t.acquire(r.Context()) {
 		t.rejected.Add(1)
+		if traced {
+			t.cfg.Trace.Record(traceID, live.KindDrop, t.cfg.TierIndex, attempt, 0)
+		}
 		http.Error(w, "pool exhausted", http.StatusServiceUnavailable)
 		return
 	}
-	defer func() { <-t.slots }()
+	t.queueWaitNs.Add(time.Since(enq).Nanoseconds())
+	t.inflight.Add(1)
+	defer func() {
+		t.inflight.Add(-1)
+		<-t.slots
+	}()
 
+	if traced {
+		t.cfg.Trace.Record(traceID, live.KindServiceStart, t.cfg.TierIndex, attempt, 0)
+	}
+	svcStart := time.Now()
 	// Local work, stretched by the current slowdown.
 	d := time.Duration(float64(t.cfg.Service) * float64(t.slowdown.Load()) / 1000)
 	if d > 0 {
 		select {
 		case <-time.After(d):
 		case <-r.Context().Done():
+			// The caller hung up mid-service; close the span so the trace
+			// never reports an orphan service interval.
+			t.serviceNs.Add(time.Since(svcStart).Nanoseconds())
+			if traced {
+				t.cfg.Trace.Record(traceID, live.KindServiceEnd, t.cfg.TierIndex, attempt, 0)
+			}
 			return
 		}
 	}
+	t.serviceNs.Add(time.Since(svcStart).Nanoseconds())
+	if traced {
+		t.cfg.Trace.Record(traceID, live.KindServiceEnd, t.cfg.TierIndex, attempt, 0)
+	}
 
 	// Synchronous downstream call while holding the worker slot — the
-	// RPC coupling that propagates back-pressure upstream.
+	// RPC coupling that propagates back-pressure upstream. The time spent
+	// here is attributed at the downstream tier, not this one.
 	if t.cfg.Backend != "" {
 		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, t.cfg.Backend, nil)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
+		}
+		if traced {
+			req.Header.Set(live.TraceHeader, live.FormatTraceHeader(traceID, attempt))
 		}
 		resp, err := t.client.Do(req)
 		if err != nil {
@@ -173,9 +237,12 @@ func (t *Tier) handle(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if traced {
+		t.cfg.Trace.Record(traceID, live.KindTierRespond, t.cfg.TierIndex, attempt, 0)
+	}
 	t.served.Add(1)
 	w.WriteHeader(http.StatusOK)
-	if _, err := w.Write([]byte(t.cfg.Name + " ok\n")); err != nil {
+	if _, err := w.Write(t.okBody); err != nil {
 		return
 	}
 }
@@ -215,6 +282,31 @@ func (t *Tier) handleCapacity(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 }
 
+// handleCounters serves the always-on aggregate counters as plaintext
+// "name value" lines (expvar-style, but grep/awk-friendly). This is the
+// coarse operator view the paper contrasts with per-request tracing: it
+// shows load and shedding totals but cannot attribute any single slow
+// request to a cause.
+func (t *Tier) handleCounters(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	body := fmt.Sprintf(
+		"victimd.tier %s\n"+
+			"victimd.workers %d\n"+
+			"victimd.served %d\n"+
+			"victimd.rejected %d\n"+
+			"victimd.inflight %d\n"+
+			"victimd.queue_wait_ns_total %d\n"+
+			"victimd.service_ns_total %d\n"+
+			"victimd.slowdown_permille %d\n",
+		t.cfg.Name, t.cfg.Workers, t.served.Load(), t.rejected.Load(),
+		t.inflight.Load(), t.queueWaitNs.Load(), t.serviceNs.Load(),
+		t.slowdown.Load())
+	if _, err := io.WriteString(w, body); err != nil {
+		// The client disconnected mid-response; nothing left to do.
+		return
+	}
+}
+
 func (t *Tier) handleStats(w http.ResponseWriter, _ *http.Request) {
 	body := fmt.Sprintf(`{"name":%q,"served":%d,"rejected":%d,"slowdown_permille":%d}`+"\n",
 		t.cfg.Name, t.served.Load(), t.rejected.Load(), t.slowdown.Load())
@@ -237,7 +329,16 @@ type SystemConfig struct {
 	WebWorkers, AppWorkers, DBWorkers int
 	// WebService/AppService/DBService are per-tier local service times.
 	WebService, AppService, DBService time.Duration
+	// Trace, when non-nil, instruments all three tiers into one shared
+	// collector with tier indices web=0, app=1, db=2. The collector's
+	// tier-name table must have at least three entries (in that order) —
+	// use TierNames for the canonical labels.
+	Trace *live.Collector
 }
+
+// TierNames returns the canonical tier labels in trace-index order, the
+// table to size a live.Collector with when tracing a System.
+func TierNames() []string { return []string{"web", "app", "db"} }
 
 // DefaultSystem returns a laptop-scale chain mirroring the simulation's
 // proportions.
@@ -260,12 +361,14 @@ func StartSystem(cfg SystemConfig) (*System, error) {
 	const patience = 20 * time.Millisecond
 	db, err := StartTier("127.0.0.1:0", TierConfig{
 		Name: "db", Workers: cfg.DBWorkers, Service: cfg.DBService, AcquireTimeout: patience,
+		Trace: cfg.Trace, TierIndex: 2,
 	})
 	if err != nil {
 		return nil, err
 	}
 	app, err := StartTier("127.0.0.1:0", TierConfig{
 		Name: "app", Workers: cfg.AppWorkers, Service: cfg.AppService, Backend: db.URL() + "/", AcquireTimeout: patience,
+		Trace: cfg.Trace, TierIndex: 1,
 	})
 	if err != nil {
 		_ = db.Close()
@@ -273,6 +376,7 @@ func StartSystem(cfg SystemConfig) (*System, error) {
 	}
 	web, err := StartTier("127.0.0.1:0", TierConfig{
 		Name: "web", Workers: cfg.WebWorkers, Service: cfg.WebService, Backend: app.URL() + "/", AcquireTimeout: patience,
+		Trace: cfg.Trace, TierIndex: 0,
 	})
 	if err != nil {
 		_ = db.Close()
