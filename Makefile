@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race equivalence fuzz bench bench-baseline bench-smoke figures quick-figures trace demo demo-smoke clean
+.PHONY: all build vet lint lint-budget test race equivalence fuzz bench bench-baseline bench-smoke figures quick-figures trace demo demo-smoke clean
 
 all: build vet lint test
 
@@ -11,9 +11,18 @@ vet:
 	$(GO) vet ./...
 
 # memca-lint is the project's custom analyzer suite (sim determinism,
-# clock discipline, float comparison, dropped errors); see DESIGN.md.
+# clock discipline, float comparison, dropped errors, hot-path allocation
+# discipline, atomic-access discipline) plus the allocbound escape-budget
+# gate over the zero-alloc packages; see DESIGN.md. On budget drift, fix
+# the allocation or accept it with `make lint-budget` and commit the
+# regenerated internal/lint/testdata/escape_budget.json.
 lint:
 	$(GO) run ./cmd/memca-lint ./...
+
+# Deliberate escape-budget refresh: re-run the compiler's escape analysis
+# over the budgeted packages and rewrite the checked-in budget in place.
+lint-budget:
+	$(GO) run ./cmd/memca-lint -update-budget
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// allocbound is the escape-budget gate: it drives the compiler's own escape
+// analysis (`go build -gcflags=-m`) over the hot-path packages, normalizes
+// the "escapes to heap" / "moved to heap" diagnostics into a position-keyed
+// set, and diffs that set against a checked-in budget file. Any escape the
+// budget does not already account for fails lint with the compiler's reason
+// string — so a new heap allocation on a zero-alloc path is caught at review
+// time, on every path the compiler sees, not only on the paths a benchmark
+// happens to exercise.
+//
+// Unlike the AST analyzers, allocbound is not a per-package syntax pass: it
+// shells out to the go tool (stdlib-subprocess only, same dependency budget
+// as the loader) and is wired through cmd/memca-lint beside the Run suite.
+
+// Escape is one heap-escape diagnostic from the compiler, keyed by source
+// position. File is slash-separated and relative to the module root.
+type Escape struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// EscapeBudget is the checked-in allowance: for every budgeted package, the
+// exact set of heap escapes the current code is known (and accepted) to
+// have. The map is keyed by import path; entries are kept sorted so the
+// JSON encoding is byte-stable across regenerations of identical code.
+type EscapeBudget struct {
+	// Comment documents the file's purpose and regeneration command inside
+	// the artifact itself.
+	Comment string `json:"comment"`
+	// Packages maps import path -> sorted escape set.
+	Packages map[string][]Escape `json:"packages"`
+}
+
+const budgetComment = "Escape budget for the zero-alloc hot-path packages. " +
+	"Every entry is one heap escape the compiler reports today and the project accepts. " +
+	"memca-lint fails on any escape not listed here. " +
+	"Regenerate deliberately with: go run ./cmd/memca-lint -update-budget"
+
+// DefaultBudgetPath is where the budget lives, relative to the module root.
+const DefaultBudgetPath = "internal/lint/testdata/escape_budget.json"
+
+// CollectEscapes compiles the given packages (import paths or ./-relative
+// patterns, resolved in dir) with -gcflags=-m and returns the heap-escape
+// diagnostics grouped by package, each group sorted by position. The go
+// tool replays compiler output from the build cache, so repeated runs over
+// unchanged code are fast and byte-identical.
+func CollectEscapes(dir string, pkgs ...string) (map[string][]Escape, error) {
+	if len(pkgs) == 0 {
+		return map[string][]Escape{}, nil
+	}
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m"}, pkgs...)...)
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m %v: %w\n%s", pkgs, err, out.String())
+	}
+	return ParseEscapes(out.String()), nil
+}
+
+// ParseEscapes extracts the heap-escape diagnostics from `go build
+// -gcflags=-m` output. The go tool groups each package's diagnostics under
+// a "# import/path" header line; within a group, escape lines have the
+// form "file.go:line:col: <what> escapes to heap" (or "moved to heap:
+// <what>"). Inlining and parameter-leak chatter is ignored: only messages
+// that mean "this allocation lands on the heap" are budgeted.
+func ParseEscapes(output string) map[string][]Escape {
+	byPkg := make(map[string][]Escape)
+	pkg := ""
+	for _, line := range strings.Split(output, "\n") {
+		if rest, ok := strings.CutPrefix(line, "# "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		esc, ok := parseEscapeLine(line)
+		if !ok || pkg == "" {
+			continue
+		}
+		byPkg[pkg] = append(byPkg[pkg], esc)
+	}
+	for p := range byPkg {
+		sortEscapes(byPkg[p])
+	}
+	return byPkg
+}
+
+// parseEscapeLine splits "file:line:col: message" into an Escape.
+func parseEscapeLine(line string) (Escape, bool) {
+	// The message itself may contain colons (type literals), so split the
+	// position prefix field by field from the left.
+	rest := strings.TrimSpace(line)
+	parts := strings.SplitN(rest, ":", 4)
+	if len(parts) != 4 {
+		return Escape{}, false
+	}
+	lineNo, err1 := strconv.Atoi(parts[1])
+	col, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil {
+		return Escape{}, false
+	}
+	return Escape{
+		File:    filepath.ToSlash(parts[0]),
+		Line:    lineNo,
+		Col:     col,
+		Message: strings.TrimSpace(parts[3]),
+	}, true
+}
+
+func sortEscapes(es []Escape) {
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Message < b.Message
+	})
+}
+
+// EncodeBudget renders the budget deterministically: sorted packages
+// (encoding/json sorts map keys), sorted entries, two-space indentation,
+// trailing newline. Two regenerations of identical code are byte-identical.
+func EncodeBudget(byPkg map[string][]Escape) ([]byte, error) {
+	b := EscapeBudget{Comment: budgetComment, Packages: byPkg}
+	for p := range b.Packages {
+		sortEscapes(b.Packages[p])
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("lint: encoding escape budget: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// ReadBudget loads and decodes a budget file.
+func ReadBudget(path string) (*EscapeBudget, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading escape budget: %w", err)
+	}
+	var b EscapeBudget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: decoding escape budget %s: %w", path, err)
+	}
+	if b.Packages == nil {
+		b.Packages = map[string][]Escape{}
+	}
+	return &b, nil
+}
+
+// WriteBudget collects the current escapes of the budgeted packages and
+// writes the budget file. It returns the total entry count.
+func WriteBudget(dir, path string, pkgs []string) (int, error) {
+	byPkg, err := CollectEscapes(dir, pkgs...)
+	if err != nil {
+		return 0, err
+	}
+	// Budgeted packages with zero escapes still get an (empty) entry so the
+	// file names the full contract surface, not just its current offenders.
+	for _, p := range pkgs {
+		if byPkg[p] == nil {
+			byPkg[p] = []Escape{}
+		}
+	}
+	data, err := EncodeBudget(byPkg)
+	if err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return 0, fmt.Errorf("lint: writing escape budget: %w", err)
+	}
+	n := 0
+	for _, es := range byPkg {
+		n += len(es)
+	}
+	return n, nil
+}
+
+// DiffEscapes compares the current escape set of one package against its
+// budget. New escapes (present now, absent from the budget) are the gate's
+// failures; stale entries (budgeted but no longer produced) mean the code
+// improved and the budget can be tightened by regenerating.
+func DiffEscapes(budget, current []Escape) (fresh, stale []Escape) {
+	key := func(e Escape) string {
+		return fmt.Sprintf("%s:%d:%d:%s", e.File, e.Line, e.Col, e.Message)
+	}
+	have := make(map[string]bool, len(budget))
+	for _, e := range budget {
+		have[key(e)] = true
+	}
+	now := make(map[string]bool, len(current))
+	for _, e := range current {
+		now[key(e)] = true
+		if !have[key(e)] {
+			fresh = append(fresh, e)
+		}
+	}
+	for _, e := range budget {
+		if !now[key(e)] {
+			stale = append(stale, e)
+		}
+	}
+	sortEscapes(fresh)
+	sortEscapes(stale)
+	return fresh, stale
+}
+
+// CheckEscapeBudget runs the allocbound gate: collect the current escapes
+// of every budgeted package and diff them against the budget file. New
+// escapes come back as diagnostics (one per escape, carrying the compiler's
+// reason); stale budget entries come back separately as non-fatal notices.
+func CheckEscapeBudget(dir, budgetPath string, cfg *Config) (diags []Diagnostic, staleNotes []string, err error) {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	budget, err := ReadBudget(budgetPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	current, err := CollectEscapes(dir, cfg.EscapeBudget...)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, pkg := range cfg.EscapeBudget {
+		budgeted, ok := budget.Packages[pkg]
+		if !ok {
+			return nil, nil, fmt.Errorf("lint: package %s is under the escape budget but missing from %s; regenerate with -update-budget", pkg, budgetPath)
+		}
+		fresh, stale := DiffEscapes(budgeted, current[pkg])
+		for _, e := range fresh {
+			diags = append(diags, Diagnostic{
+				Pos:      token.Position{Filename: e.File, Line: e.Line, Column: e.Col},
+				Analyzer: "allocbound",
+				Message:  fmt.Sprintf("new heap escape in budgeted package %s: %s (accept deliberately with `go run ./cmd/memca-lint -update-budget`)", pkg, e.Message),
+			})
+		}
+		for _, e := range stale {
+			staleNotes = append(staleNotes, fmt.Sprintf("%s:%d:%d: budgeted escape no longer produced (%s) — tighten with -update-budget", e.File, e.Line, e.Col, e.Message))
+		}
+	}
+	sort.Strings(staleNotes)
+	return diags, staleNotes, nil
+}

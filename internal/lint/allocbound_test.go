@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixturePkg is the deliberate-escape corpus under testdata; building it by
+// import path keeps the diagnostics' file paths relative to this directory.
+const fixturePkg = "memca/internal/lint/testdata/allocbound"
+
+func TestParseEscapes(t *testing.T) {
+	output := strings.Join([]string{
+		"# memca/internal/sim",
+		"internal/sim/engine.go:10:6: can inline (*Engine).Now",
+		"internal/sim/engine.go:42:13: leaking param: e",
+		"# memca/internal/stats",
+		"internal/stats/histogram.go:26:76: base escapes to heap",
+		"internal/stats/histogram.go:12:2: moved to heap: cuts",
+		"internal/stats/sample.go:8:10: make([]float64, 0, n) escapes to heap",
+		"",
+	}, "\n")
+	byPkg := ParseEscapes(output)
+	if len(byPkg) != 1 {
+		t.Fatalf("got %d packages, want 1 (inline/leak chatter must not create entries): %v", len(byPkg), byPkg)
+	}
+	got := byPkg["memca/internal/stats"]
+	want := []Escape{
+		{File: "internal/stats/histogram.go", Line: 12, Col: 2, Message: "moved to heap: cuts"},
+		{File: "internal/stats/histogram.go", Line: 26, Col: 76, Message: "base escapes to heap"},
+		{File: "internal/stats/sample.go", Line: 8, Col: 10, Message: "make([]float64, 0, n) escapes to heap"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d escapes, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("escape %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDiffEscapes(t *testing.T) {
+	budget := []Escape{
+		{File: "a.go", Line: 1, Col: 1, Message: "x escapes to heap"},
+		{File: "a.go", Line: 9, Col: 1, Message: "moved to heap: gone"},
+	}
+	current := []Escape{
+		{File: "a.go", Line: 1, Col: 1, Message: "x escapes to heap"},
+		{File: "b.go", Line: 3, Col: 7, Message: "y escapes to heap"},
+	}
+	fresh, stale := DiffEscapes(budget, current)
+	if len(fresh) != 1 || fresh[0].File != "b.go" {
+		t.Errorf("fresh = %v, want the b.go escape only", fresh)
+	}
+	if len(stale) != 1 || stale[0].Line != 9 {
+		t.Errorf("stale = %v, want the line-9 entry only", stale)
+	}
+}
+
+// TestBudgetByteStable regenerates the fixture budget twice and requires
+// byte-identical output: the file must not churn under version control when
+// the code has not changed.
+func TestBudgetByteStable(t *testing.T) {
+	first, err := CollectEscapes(".", fixturePkg)
+	if err != nil {
+		t.Fatalf("CollectEscapes: %v", err)
+	}
+	second, err := CollectEscapes(".", fixturePkg)
+	if err != nil {
+		t.Fatalf("CollectEscapes (second run): %v", err)
+	}
+	a, err := EncodeBudget(first)
+	if err != nil {
+		t.Fatalf("EncodeBudget: %v", err)
+	}
+	b, err := EncodeBudget(second)
+	if err != nil {
+		t.Fatalf("EncodeBudget (second run): %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("budget not byte-stable across regenerations:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	if a[len(a)-1] != '\n' {
+		t.Error("encoded budget must end in a newline")
+	}
+	es := first[fixturePkg]
+	if len(es) < 3 {
+		t.Fatalf("fixture produced %d escapes, want at least 3: %v", len(es), es)
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i-1].File > es[i].File || (es[i-1].File == es[i].File && es[i-1].Line > es[i].Line) {
+			t.Errorf("escapes not sorted: %+v before %+v", es[i-1], es[i])
+		}
+	}
+}
+
+// TestBudgetRoundTrip writes the fixture budget and reads it back.
+func TestBudgetRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "budget.json")
+	n, err := WriteBudget(".", path, []string{fixturePkg})
+	if err != nil {
+		t.Fatalf("WriteBudget: %v", err)
+	}
+	if n < 3 {
+		t.Fatalf("WriteBudget wrote %d entries, want at least 3", n)
+	}
+	b, err := ReadBudget(path)
+	if err != nil {
+		t.Fatalf("ReadBudget: %v", err)
+	}
+	if len(b.Packages[fixturePkg]) != n {
+		t.Errorf("round-trip lost entries: wrote %d, read %d", n, len(b.Packages[fixturePkg]))
+	}
+	if !strings.Contains(b.Comment, "-update-budget") {
+		t.Errorf("budget comment must carry the regeneration command, got %q", b.Comment)
+	}
+}
+
+// TestNewEscapeReported removes one known entry from the fixture budget and
+// proves the gate reports it as a new escape carrying the compiler's reason.
+func TestNewEscapeReported(t *testing.T) {
+	byPkg, err := CollectEscapes(".", fixturePkg)
+	if err != nil {
+		t.Fatalf("CollectEscapes: %v", err)
+	}
+	es := byPkg[fixturePkg]
+	if len(es) == 0 {
+		t.Fatal("fixture produced no escapes")
+	}
+	// Drop the "moved to heap" entry to simulate code that newly escapes.
+	removed := es[0]
+	for _, e := range es {
+		if strings.HasPrefix(e.Message, "moved to heap") {
+			removed = e
+			break
+		}
+	}
+	var trimmed []Escape
+	for _, e := range es {
+		if e != removed {
+			trimmed = append(trimmed, e)
+		}
+	}
+	// Plus a bogus entry the code no longer produces, to exercise the
+	// stale-note path.
+	trimmed = append(trimmed, Escape{File: "testdata/allocbound/escapes.go", Line: 999, Col: 1, Message: "ghost escapes to heap"})
+
+	path := filepath.Join(t.TempDir(), "budget.json")
+	data, err := EncodeBudget(map[string][]Escape{fixturePkg: trimmed})
+	if err != nil {
+		t.Fatalf("EncodeBudget: %v", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("writing trimmed budget: %v", err)
+	}
+
+	cfg := &Config{EscapeBudget: []string{fixturePkg}}
+	diags, stale, err := CheckEscapeBudget(".", path, cfg)
+	if err != nil {
+		t.Fatalf("CheckEscapeBudget: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the removed escape: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "allocbound" {
+		t.Errorf("analyzer = %q, want allocbound", d.Analyzer)
+	}
+	if d.Pos.Filename != removed.File || d.Pos.Line != removed.Line {
+		t.Errorf("diagnostic at %s:%d, want %s:%d", d.Pos.Filename, d.Pos.Line, removed.File, removed.Line)
+	}
+	if !strings.Contains(d.Message, removed.Message) {
+		t.Errorf("diagnostic %q must carry the compiler reason %q", d.Message, removed.Message)
+	}
+	if !strings.Contains(d.Message, "-update-budget") {
+		t.Errorf("diagnostic %q must point at the regeneration command", d.Message)
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0], "ghost escapes to heap") {
+		t.Errorf("stale notes = %v, want the ghost entry only", stale)
+	}
+}
+
+// TestCheckEscapeBudgetMissingPackage pins the hard error when a budgeted
+// package has no entry at all in the file.
+func TestCheckEscapeBudgetMissingPackage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "budget.json")
+	data, err := EncodeBudget(map[string][]Escape{})
+	if err != nil {
+		t.Fatalf("EncodeBudget: %v", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("writing empty budget: %v", err)
+	}
+	cfg := &Config{EscapeBudget: []string{fixturePkg}}
+	if _, _, err := CheckEscapeBudget(".", path, cfg); err == nil || !strings.Contains(err.Error(), "-update-budget") {
+		t.Errorf("missing package: err = %v, want -update-budget guidance", err)
+	}
+}

@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerAtomicMix enforces the claim-once / lock-free discipline the
+// live-span collector and the real-socket daemons rely on: a variable that
+// is accessed atomically anywhere in a package must be accessed atomically
+// everywhere in that package. Mixing one atomic.AddInt64 with one plain read
+// of the same field is a data race the race detector only catches when both
+// sides happen to run concurrently under `-race`; this encodes the rule
+// statically.
+//
+// Two access disciplines are checked:
+//
+//   - legacy sync/atomic functions: any variable (struct field or package
+//     var) that appears as the &-argument of atomic.LoadT/StoreT/AddT/
+//     SwapT/CompareAndSwapT anywhere in the package must never be read or
+//     written plainly elsewhere in the package;
+//   - typed atomics (atomic.Bool, Int32, Int64, Uint32, Uint64, Uintptr,
+//     Pointer[T], Value): values of these types must only be used as method
+//     receivers or through their address — copying one (assignment, call
+//     argument, return, composite literal, comparison) smuggles a plain
+//     read of the underlying word past the type's API.
+func AnalyzerAtomicMix() *Analyzer {
+	return &Analyzer{
+		Name: "atomicmix",
+		Doc:  "variables accessed through sync/atomic must never be read or written plainly in the same package",
+		Run:  runAtomicMix,
+	}
+}
+
+// atomicFuncPrefixes are the legacy sync/atomic operation families; the
+// concrete functions are e.g. LoadInt64, StoreUint32, AddInt32,
+// CompareAndSwapPointer, SwapUintptr, OrInt64, AndUint64.
+var atomicFuncPrefixes = []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "Or", "And"}
+
+func isAtomicFunc(name string) bool {
+	for _, p := range atomicFuncPrefixes {
+		if rest, ok := strings.CutPrefix(name, p); ok && rest != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// typedAtomicNames are the sync/atomic wrapper types whose methods are the
+// only sanctioned access path.
+var typedAtomicNames = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// isTypedAtomic reports whether t is one of the sync/atomic wrapper types.
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && typedAtomicNames[obj.Name()]
+}
+
+func runAtomicMix(pkg *Package, cfg *Config) []Diagnostic {
+	// Pass 1: collect every variable whose address feeds a legacy
+	// sync/atomic operation.
+	atomicVars := make(map[*types.Var][]token.Position)
+	for _, file := range pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || importedPackage(pkg.Info, sel.X) != "sync/atomic" || !isAtomicFunc(sel.Sel.Name) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			if v := referencedVar(pkg.Info, addr.X); v != nil {
+				atomicVars[v] = append(atomicVars[v], pkg.Fset.Position(call.Pos()))
+			}
+			return true
+		})
+	}
+
+	var diags []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(n.Pos()),
+			Analyzer: "atomicmix",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Pass 2: find plain accesses to those variables, and copies of typed
+	// atomics, anywhere else in the package.
+	for _, file := range pkg.Syntax {
+		inspectWithStack(file, func(n ast.Node, stack []ast.Node) {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				c := atomicAccess{pkg: pkg, stack: stack}
+				if v := fieldVar(pkg.Info, n); v != nil {
+					if _, isAtomic := atomicVars[v]; isAtomic && !c.insideAtomicArg(n) {
+						report(n, "plain access to %s, which is accessed via sync/atomic elsewhere in %s: every access must go through sync/atomic (or migrate the field to a typed atomic)",
+							v.Name(), pkg.ImportPath)
+					}
+				}
+				c.checkTypedCopy(n, report)
+			case *ast.Ident:
+				v, ok := pkg.Info.Uses[n].(*types.Var)
+				if !ok || v.IsField() {
+					return
+				}
+				if _, isAtomic := atomicVars[v]; !isAtomic {
+					return
+				}
+				// Skip the identifier inside a selector (handled above) or
+				// inside the atomic call's own &arg.
+				if len(stack) > 0 {
+					if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.Sel != n {
+						return
+					}
+				}
+				c := atomicAccess{pkg: pkg, stack: stack}
+				if !c.insideAtomicArg(n) {
+					report(n, "plain access to %s, which is accessed via sync/atomic elsewhere in %s: every access must go through sync/atomic (or migrate the variable to a typed atomic)",
+						v.Name(), pkg.ImportPath)
+				}
+			case *ast.IndexExpr:
+				c := atomicAccess{pkg: pkg, stack: stack}
+				c.checkTypedCopy(n, report)
+			}
+		})
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := diags[i].Pos, diags[j].Pos
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+	return diags
+}
+
+// referencedVar resolves the variable an lvalue expression refers to: a
+// plain identifier or a field selector (possibly through pointers/indexing).
+func referencedVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		return fieldVar(info, e)
+	case *ast.IndexExpr:
+		return referencedVar(info, e.X)
+	case *ast.ParenExpr:
+		return referencedVar(info, e.X)
+	}
+	return nil
+}
+
+// fieldVar resolves a selector to the struct field it names, or nil for
+// package qualifiers and method selections.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// atomicAccess classifies how an expression is used, from its enclosing
+// nodes.
+type atomicAccess struct {
+	pkg   *Package
+	stack []ast.Node
+}
+
+// insideAtomicArg reports whether e is (part of) the &-argument of a legacy
+// sync/atomic call: atomic.AddInt64(&s.f, 1) must not flag s.f.
+func (c *atomicAccess) insideAtomicArg(e ast.Expr) bool {
+	for i := len(c.stack) - 1; i >= 0; i-- {
+		switch n := c.stack[i].(type) {
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return false
+			}
+			// The & must itself be an argument of an atomic call.
+			if i > 0 {
+				if call, ok := c.stack[i-1].(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+						return importedPackage(c.pkg.Info, sel.X) == "sync/atomic" && isAtomicFunc(sel.Sel.Name)
+					}
+				}
+			}
+			return false
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.ParenExpr:
+			continue // still inside the lvalue path
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// checkTypedCopy flags expressions of typed-atomic type used as values.
+// Legal uses: the receiver of a method call (s.f.Load()), the operand of &,
+// and being selected further (s.f.Load's selector itself).
+func (c *atomicAccess) checkTypedCopy(e ast.Expr, report func(ast.Node, string, ...any)) {
+	// Only value expressions matter: `atomic.Int64` written as a type (in
+	// a field, parameter, or result declaration) is not an access.
+	tv, ok := c.pkg.Info.Types[e]
+	if !ok || !tv.IsValue() || !isTypedAtomic(tv.Type) {
+		return
+	}
+	t := tv.Type
+	if len(c.stack) == 0 {
+		return
+	}
+	parent := c.stack[len(c.stack)-1]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X == e {
+			return // method access s.f.Load()
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return // explicit pointer: legal hand-off
+		}
+	case *ast.StarExpr:
+		return // deref of a *atomic.T; the deref result is checked instead
+	}
+	report(e, "%s value of type %s is copied: typed atomics must be used only through their methods or by pointer", exprString(e), t)
+}
+
+// exprString renders a short label for an expression in diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "expression"
+}

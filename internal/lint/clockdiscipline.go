@@ -21,11 +21,24 @@ var wallClockFuncs = map[string]bool{
 	"NewTimer":  true,
 }
 
+// deadlineCtxFuncs are the context constructors that arm a wall-clock
+// timer under the hood: a sim-path package calling context.WithTimeout is
+// waiting on real time exactly as if it had called time.AfterFunc itself.
+// Deadline-free constructors (Background, WithCancel, WithValue) are fine.
+var deadlineCtxFuncs = map[string]bool{
+	"WithTimeout":       true,
+	"WithTimeoutCause":  true,
+	"WithDeadline":      true,
+	"WithDeadlineCause": true,
+}
+
 // AnalyzerClockDiscipline enforces the simulated/wall clock boundary. The
 // policy is default-deny: only packages on the Config.ClockAllowed list
 // (the real-socket framework, the monitor, and the binaries) may call the
 // wall-clock functions; everything else — in particular every sim-path
 // package — must take time from the simulation engine's virtual clock.
+// Besides package time, the deadline-carrying context constructors are
+// caught too: context.WithTimeout arms a runtime timer on the real clock.
 func AnalyzerClockDiscipline() *Analyzer {
 	return &Analyzer{
 		Name: "clockdiscipline",
@@ -45,15 +58,28 @@ func runClockDiscipline(pkg *Package, cfg *Config) []Diagnostic {
 			if !ok {
 				return true
 			}
-			if importedPackage(pkg.Info, sel.X) != "time" || !wallClockFuncs[sel.Sel.Name] {
-				return true
+			switch importedPackage(pkg.Info, sel.X) {
+			case "time":
+				if !wallClockFuncs[sel.Sel.Name] {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(sel.Pos()),
+					Analyzer: "clockdiscipline",
+					Message: fmt.Sprintf("wall-clock call time.%s in %s: simulated time must come from the engine's virtual clock (sim.Engine.Now / Schedule)",
+						sel.Sel.Name, pkg.ImportPath),
+				})
+			case "context":
+				if !deadlineCtxFuncs[sel.Sel.Name] {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(sel.Pos()),
+					Analyzer: "clockdiscipline",
+					Message: fmt.Sprintf("context.%s in %s arms a wall-clock timer: simulated deadlines must be scheduled on the engine's virtual clock",
+						sel.Sel.Name, pkg.ImportPath),
+				})
 			}
-			diags = append(diags, Diagnostic{
-				Pos:      pkg.Fset.Position(sel.Pos()),
-				Analyzer: "clockdiscipline",
-				Message: fmt.Sprintf("wall-clock call time.%s in %s: simulated time must come from the engine's virtual clock (sim.Engine.Now / Schedule)",
-					sel.Sel.Name, pkg.ImportPath),
-			})
 			return true
 		})
 	}

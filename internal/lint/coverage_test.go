@@ -1,6 +1,10 @@
 package lint
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // TestSimPathCoversEngine pins the determinism contract's reach: the event
 // engine and everything the redesigned zero-allocation path touches must
@@ -45,15 +49,82 @@ func TestEngineFilesClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and typechecks real packages")
 	}
-	pkgs, err := Load("../..", "./internal/sim", "./internal/queueing", "./internal/workload", "./internal/core", "./internal/telemetry", "./cmd/memca-trace")
+	pkgs, err := Load("../..",
+		"./internal/sim", "./internal/queueing", "./internal/workload",
+		"./internal/core", "./internal/telemetry", "./internal/telemetry/live",
+		"./internal/stats", "./cmd/memca-trace")
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
-	if len(pkgs) != 6 {
-		t.Fatalf("loaded %d packages, want 6", len(pkgs))
+	if len(pkgs) != 8 {
+		t.Fatalf("loaded %d packages, want 8", len(pkgs))
 	}
 	diags := Run(pkgs, Analyzers(), DefaultConfig())
 	for _, d := range diags {
 		t.Errorf("unexpected finding: %v", d)
+	}
+}
+
+// TestEveryInternalPackageClassified walks internal/ on disk and fails if
+// any package directory is classified neither SimPath, ClockAllowed, nor
+// Tools. This closes the PR-5 gap where a freshly added package
+// (telemetry/live nearly did it) would silently fall outside every
+// contract: the default-deny model only works if "unclassified" is loud.
+func TestEveryInternalPackageClassified(t *testing.T) {
+	cfg := DefaultConfig()
+	root := filepath.Join("..", "..")
+	internal := filepath.Join(root, "internal")
+	err := filepath.WalkDir(internal, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if d.Name() == "testdata" {
+			return filepath.SkipDir
+		}
+		// Only directories that actually hold Go files form packages.
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		hasGo := false
+		for _, e := range entries {
+			if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		importPath := "memca/" + filepath.ToSlash(rel)
+		n := 0
+		if cfg.IsSimPath(importPath) {
+			n++
+		}
+		if cfg.IsClockAllowed(importPath) {
+			n++
+		}
+		if cfg.IsTool(importPath) {
+			n++
+		}
+		switch n {
+		case 0:
+			t.Errorf("package %s is classified neither SimPath, ClockAllowed, nor Tools: add it to DefaultConfig deliberately", importPath)
+		case 1:
+			// exactly one classification: correct
+		default:
+			t.Errorf("package %s has %d classifications, want exactly 1", importPath, n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking internal/: %v", err)
 	}
 }

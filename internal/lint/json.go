@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// jsonDiagnostic is the machine-readable shape of one finding, one object
+// per line (JSON Lines), for editor integrations and CI tooling.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders diagnostics as JSON Lines: one object per diagnostic,
+// fields file, line, col, analyzer, message. An empty diagnostic list
+// writes nothing.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		jd := jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		if err := enc.Encode(&jd); err != nil {
+			return fmt.Errorf("lint: encoding diagnostic: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteGitHubAnnotations renders diagnostics as GitHub Actions workflow
+// commands (`::error file=...,line=...,col=...::message`), so CI findings
+// surface inline on the pull-request diff.
+func WriteGitHubAnnotations(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		msg := fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+		_, err := fmt.Fprintf(w, "::error file=%s,line=%d,col=%d::%s\n",
+			d.Pos.Filename, d.Pos.Line, d.Pos.Column, escapeAnnotation(msg))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// escapeAnnotation applies the workflow-command data escaping rules:
+// percent, carriage return, and newline must be URL-style encoded or the
+// runner truncates the message at the first newline.
+func escapeAnnotation(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "internal/sim/engine.go", Line: 12, Column: 3},
+			Analyzer: "hotpathalloc",
+			Message:  "fmt.Sprintf allocates on every call [hot path: Step is marked //memca:hotpath]",
+		},
+		{
+			Pos:      token.Position{Filename: "internal/stats/sample.go", Line: 7, Column: 1},
+			Analyzer: "atomicmix",
+			Message:  "plain access to hits, 100% of the time",
+		},
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleDiags()); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want one JSON object per diagnostic (2):\n%s", len(lines), buf.String())
+	}
+	var first struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 is not valid JSON: %v\n%s", err, lines[0])
+	}
+	if first.File != "internal/sim/engine.go" || first.Line != 12 || first.Col != 3 ||
+		first.Analyzer != "hotpathalloc" || !strings.Contains(first.Message, "fmt.Sprintf") {
+		t.Errorf("line 1 fields wrong: %+v", first)
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty diagnostics must write nothing, got %q", buf.String())
+	}
+}
+
+func TestWriteGitHubAnnotations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGitHubAnnotations(&buf, sampleDiags()); err != nil {
+		t.Fatalf("WriteGitHubAnnotations: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "::error file=internal/sim/engine.go,line=12,col=3::") {
+		t.Errorf("missing annotation header:\n%s", out)
+	}
+	// The % in the second message must be escaped or the runner mangles it.
+	if !strings.Contains(out, "100%25") {
+		t.Errorf("percent not escaped in annotation:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Errorf("got %d lines, want 2", lines)
+	}
+}

@@ -10,6 +10,16 @@
 //   - floatcompare: no exact ==/!= on floating-point operands outside test
 //     files; epsilon comparisons go through internal/stats.
 //   - errdrop: no silently discarded error return values in non-test code.
+//   - hotpathalloc: functions marked //memca:hotpath (and everything they
+//     call within their package) avoid alloc-prone constructs — capturing
+//     closures, interface boxing, fmt, string concatenation, un-presized
+//     append/make(map).
+//   - atomicmix: a variable accessed through sync/atomic anywhere in a
+//     package is never read or written plainly elsewhere in that package,
+//     and typed atomics are never copied by value.
+//   - allocbound (wired through cmd/memca-lint, not a per-package AST
+//     pass): the compiler's own escape analysis over the hot-path packages
+//     must match the checked-in budget; any new heap escape fails lint.
 //
 // The analyzers are built on the standard library only (go/parser, go/types
 // with compiled export data from `go list -export`), so the suite adds no
@@ -64,6 +74,8 @@ func Analyzers() []*Analyzer {
 		AnalyzerClockDiscipline(),
 		AnalyzerFloatCompare(),
 		AnalyzerErrDrop(),
+		AnalyzerHotPathAlloc(),
+		AnalyzerAtomicMix(),
 	}
 }
 

@@ -61,6 +61,14 @@ func TestErrDropGolden(t *testing.T) {
 	runGolden(t, "errdrop", AnalyzerErrDrop(), goldenConfig())
 }
 
+func TestHotPathAllocGolden(t *testing.T) {
+	runGolden(t, "hotpathalloc", AnalyzerHotPathAlloc(), goldenConfig())
+}
+
+func TestAtomicMixGolden(t *testing.T) {
+	runGolden(t, "atomicmix", AnalyzerAtomicMix(), goldenConfig())
+}
+
 // TestSimPathSilentWhenNotConfigured pins the scoping: simdeterminism and
 // clockdiscipline must stay quiet on packages outside their police beat.
 func TestSimPathSilentWhenNotConfigured(t *testing.T) {
@@ -95,6 +103,7 @@ func TestDefaultConfigPolicy(t *testing.T) {
 		// A brand-new package gets the strict default: no wall clock
 		// until someone allowlists it consciously.
 		{"memca/internal/newthing", false, false},
+		// The lint suite is classified as tooling, not sim or clock code.
 		{"memca/internal/lint", false, false},
 	}
 	for _, c := range cases {
@@ -105,10 +114,29 @@ func TestDefaultConfigPolicy(t *testing.T) {
 			t.Errorf("IsClockAllowed(%q) = %v, want %v", c.path, got, c.clockAllowed)
 		}
 	}
-	// Sanity: no package is both sim-path and clock-allowed.
+	if !cfg.IsTool("memca/internal/lint") {
+		t.Error("IsTool(memca/internal/lint) = false, want true")
+	}
+	if cfg.IsTool("memca/internal/sim") {
+		t.Error("IsTool(memca/internal/sim) = true, want false")
+	}
+	// Sanity: no package is both sim-path and clock-allowed, and tools are
+	// in neither contract.
 	for _, p := range cfg.SimPath {
 		if cfg.IsClockAllowed(strings.TrimSuffix(p, "/...")) {
 			t.Errorf("package %q is both sim-path and clock-allowed", p)
+		}
+	}
+	for _, p := range cfg.Tools {
+		if cfg.IsSimPath(p) || cfg.IsClockAllowed(p) {
+			t.Errorf("tool package %q is also under a sim/clock contract", p)
+		}
+	}
+	// Every escape-budgeted package is on the sim path: the zero-alloc
+	// contract is a property of the measurement path.
+	for _, p := range cfg.EscapeBudget {
+		if !cfg.IsSimPath(p) && !cfg.IsClockAllowed(p) {
+			t.Errorf("escape-budgeted package %q is unclassified", p)
 		}
 	}
 }

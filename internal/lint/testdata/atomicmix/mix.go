@@ -1,0 +1,72 @@
+// Package atomicmix is the golden corpus for the atomicmix analyzer: a
+// variable accessed through sync/atomic anywhere in the package must be
+// accessed atomically everywhere in the package, and typed atomics must
+// never be copied by value.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits   int64
+	misses int64
+	// total is never touched atomically, so plain access stays legal.
+	total int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.misses, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.hits + atomic.LoadInt64(&c.misses) // want `plain access to hits`
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want `plain access to hits`
+	atomic.StoreInt64(&c.misses, 0)
+	c.total++
+}
+
+var ops int64
+
+func bumpOps() { atomic.AddInt64(&ops, 1) }
+
+func opsSnapshot() int64 {
+	return ops // want `plain access to ops`
+}
+
+type gauge struct {
+	level atomic.Int64
+	name  string
+}
+
+func (g *gauge) set(v int64) { g.level.Store(v) }
+
+func snapshot(g *gauge) atomic.Int64 {
+	return g.level // want `g.level value of type sync/atomic.Int64 is copied`
+}
+
+func copyLevel(g *gauge) int64 {
+	l := g.level // want `g.level value of type sync/atomic.Int64 is copied`
+	return l.Load()
+}
+
+// watch takes the atomic by pointer: the sanctioned hand-off.
+func watch(l *atomic.Int64) int64 { return l.Load() }
+
+func (g *gauge) current() int64 {
+	return watch(&g.level)
+}
+
+func (g *gauge) label() string { return g.name }
+
+type slots struct {
+	ready [4]atomic.Uint32
+}
+
+func (s *slots) mark(i int) { s.ready[i].Store(1) }
+
+func (s *slots) peek(i int) atomic.Uint32 {
+	return s.ready[i] // want `s.ready\[\.\.\.\] value of type sync/atomic.Uint32 is copied`
+}

@@ -3,7 +3,10 @@
 // be reported, while pure time.Duration arithmetic stays legal.
 package clock
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 var start = time.Now() // want `wall-clock call time\.Now`
 
@@ -24,6 +27,39 @@ func timeout() {
 func ticker() {
 	t := time.NewTicker(time.Second) // want `wall-clock call time\.NewTicker`
 	t.Stop()
+}
+
+func until(t time.Time) time.Duration {
+	return time.Until(t) // want `wall-clock call time\.Until`
+}
+
+func timer() {
+	t := time.NewTimer(time.Second) // want `wall-clock call time\.NewTimer`
+	t.Stop()
+}
+
+func afterFunc() {
+	time.AfterFunc(time.Second, func() {}) // want `wall-clock call time\.AfterFunc`
+}
+
+func tick() {
+	_ = time.Tick(time.Second) // want `wall-clock call time\.Tick`
+}
+
+func deadlineCtx(ctx context.Context) {
+	c, cancel := context.WithTimeout(ctx, time.Second) // want `context\.WithTimeout .* arms a wall-clock timer`
+	defer cancel()
+	_ = c
+	d, cancel2 := context.WithDeadline(ctx, time.Unix(0, 0)) // want `context\.WithDeadline .* arms a wall-clock timer`
+	defer cancel2()
+	_ = d
+}
+
+// Deadline-free context plumbing never touches the clock and stays legal.
+func plumbing(ctx context.Context) context.Context {
+	c, cancel := context.WithCancel(ctx)
+	cancel()
+	return c
 }
 
 // Virtual-time arithmetic on time.Duration is the simulated clock's own

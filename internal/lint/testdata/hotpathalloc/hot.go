@@ -1,0 +1,120 @@
+// Package hotpathalloc is the golden corpus for the hotpathalloc analyzer.
+// Functions marked //memca:hotpath (and everything they call within the
+// package) must avoid alloc-prone constructs; unmarked, unreachable
+// functions may do what they like.
+package hotpathalloc
+
+import "fmt"
+
+type sink struct {
+	vals []int
+	out  any
+}
+
+// push appends to a struct field: fields are trusted to be pre-sized by
+// their constructors (the slab convention), so this stays legal even though
+// push is reachable from a hot function.
+func (s *sink) push(v int) { s.vals = append(s.vals, v) }
+
+// helper is unmarked but called from Record, so it is in the hot closure.
+func helper(s *sink) string {
+	return fmt.Sprint(s) // want `fmt.Sprint allocates on every call`
+}
+
+//memca:hotpath
+func Record(s *sink, v int) {
+	s.push(v)
+	_ = helper(s)
+	s.out = v // want `assignment boxes int into interface`
+}
+
+//memca:hotpath
+func Format(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `fmt.Sprintf allocates on every call`
+}
+
+//memca:hotpath
+func Join(a, b string) string {
+	return a + b // want `string concatenation builds a fresh string per evaluation`
+}
+
+//memca:hotpath
+func JoinAssign(a, b string) string {
+	a += b // want `string concatenation builds a fresh string per evaluation`
+	return a
+}
+
+//memca:hotpath
+func Capture(done func()) {
+	x := 0
+	defer func() { x++ }() // want `func literal captures x`
+	done()
+}
+
+//memca:hotpath
+func Grow(n int) int {
+	var buf []int
+	for i := 0; i < n; i++ {
+		buf = append(buf, i) // want `append to un-presized local slice buf`
+	}
+	m := make(map[int]int) // want `make\(map\[int\]int\) without a size hint`
+	m[1] = 1
+	return len(buf) + len(m)
+}
+
+// Sized shows the sanctioned forms: capacity-carrying make calls are legal.
+//
+//memca:hotpath
+func Sized(n int) []int {
+	buf := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+	}
+	counts := make(map[int]int, n)
+	counts[0] = n
+	return buf
+}
+
+func consume(v any) { use(v) }
+
+func use(any) {}
+
+//memca:hotpath
+func Box(p *sink, v int) {
+	consume(p) // pointer-shaped values convert free
+	consume(v) // want `argument boxes int into interface`
+	_ = any(v) // want `conversion boxes int into interface`
+}
+
+//memca:hotpath
+func Wrap(v int) any {
+	return v // want `return boxes int into interface`
+}
+
+// Apply calls through a function value with non-interface parameters;
+// nothing here allocates.
+//
+//memca:hotpath
+func Apply(vals []int, f func(int) int) {
+	for i, v := range vals {
+		vals[i] = f(v)
+	}
+}
+
+// Reset uses a capture-free literal, which compiles to a plain function.
+//
+//memca:hotpath
+func Reset(vals []int) {
+	zero := func(int) int { return 0 }
+	for i := range vals {
+		vals[i] = zero(vals[i])
+	}
+}
+
+// Cold is unmarked and unreachable from any hot function: fmt, closures,
+// and boxing are all legal here.
+func Cold(v int) string {
+	s := fmt.Sprint(v)
+	f := func() string { return s }
+	return f()
+}

@@ -2,12 +2,12 @@ package lint
 
 import "go/ast"
 
-// inspectWithStack walks the file in depth-first order, invoking fn for
+// inspectWithStack walks the subtree in depth-first order, invoking fn for
 // every node with the stack of enclosing nodes (outermost first, excluding
-// the node itself).
-func inspectWithStack(file *ast.File, fn func(n ast.Node, stack []ast.Node)) {
+// the node itself). The stack is rooted at root, not at the file.
+func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
 	var stack []ast.Node
-	ast.Inspect(file, func(n ast.Node) bool {
+	ast.Inspect(root, func(n ast.Node) bool {
 		if n == nil {
 			stack = stack[:len(stack)-1]
 			return true

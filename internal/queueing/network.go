@@ -210,6 +210,8 @@ func (n *Network) afterHop(req *Request) {
 
 // Act makes the network the sim.Actor for its hop events: arg is the
 // *Request in flight, whose phase field says what the hop delivers.
+//
+//memca:hotpath
 func (n *Network) Act(arg any) { n.hopArrive(arg.(*Request)) }
 
 // hopArrive lands a request after a hop: either into the next tier on the

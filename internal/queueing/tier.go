@@ -74,6 +74,8 @@ func newTier(cfg TierConfig, idx int, net *Network) *tier {
 // Act dispatches a completion event for one in-service run: tiers are the
 // sim.Actor for their own service completions, so the per-service event
 // carries no closure.
+//
+//memca:hotpath
 func (t *tier) Act(arg any) { t.serviceDone(arg.(*serviceRun)) }
 
 func (t *tier) now() time.Duration { return t.net.engine.Now() }
@@ -196,11 +198,13 @@ func (t *tier) scheduleCompletion(run *serviceRun) {
 	run.ev = t.net.engine.ScheduleCall(delay, t, run)
 }
 
-// reconcile books the work done at the old rate into every in-flight
-// service and reschedules completions at the new rate (fluid model). The
-// list is walked in admission order, so the rescheduled events' tie-break
-// sequence is deterministic.
-func (t *tier) reconcile(apply func()) {
+// reconcileTo books the work done at the old rate into every in-flight
+// service, installs the new capacity factors, and reschedules completions
+// at the new rate (fluid model). The list is walked in admission order, so
+// the rescheduled events' tie-break sequence is deterministic. Taking both
+// factors as plain values (rather than an apply closure) keeps the
+// per-burst rate-change path allocation-free.
+func (t *tier) reconcileTo(mult, scale float64) {
 	now := t.now()
 	oldRate := t.rate()
 	for run := t.runsHead; run != nil; run = run.next {
@@ -212,14 +216,17 @@ func (t *tier) reconcile(apply func()) {
 		run.lastUpdate = now
 		t.net.observe(run.req, SpanServicePreempt, t.idx)
 	}
-	apply()
+	t.mult = mult
+	t.scale = scale
 	for run := t.runsHead; run != nil; run = run.next {
 		t.scheduleCompletion(run)
 	}
 }
 
 // setMultiplier changes the tier's capacity multiplier, preserving
-// in-flight work.
+// in-flight work. It runs on every attack-burst edge.
+//
+//memca:hotpath
 func (t *tier) setMultiplier(m float64) {
 	if m < 0 {
 		m = 0
@@ -227,11 +234,13 @@ func (t *tier) setMultiplier(m float64) {
 	if stats.ApproxEqual(m, t.mult) {
 		return
 	}
-	t.reconcile(func() { t.mult = m })
+	t.reconcileTo(m, t.scale)
 }
 
 // setScale changes the tier's elastic-scaling factor, preserving in-flight
 // work.
+//
+//memca:hotpath
 func (t *tier) setScale(s float64) {
 	if s < 0 {
 		s = 0
@@ -239,7 +248,7 @@ func (t *tier) setScale(s float64) {
 	if stats.ApproxEqual(s, t.scale) {
 		return
 	}
-	t.reconcile(func() { t.scale = s })
+	t.reconcileTo(t.mult, s)
 }
 
 func (t *tier) serviceDone(run *serviceRun) {

@@ -170,6 +170,8 @@ func (e *Engine) At(t time.Duration, fn func()) Event {
 // it performs no heap allocation: the actor is a long-lived object and arg
 // carries the per-event context (keep it pointer-shaped or a small integer
 // to stay allocation-free across the `any` conversion).
+//
+//memca:hotpath
 func (e *Engine) ScheduleCall(delay time.Duration, actor Actor, arg any) Event {
 	if actor == nil {
 		panic("sim: ScheduleCall called with nil actor")
@@ -182,6 +184,8 @@ func (e *Engine) ScheduleCall(delay time.Duration, actor Actor, arg any) Event {
 
 // AtCall queues actor.Act(arg) at absolute virtual time t, clamped to the
 // present. It is the Actor counterpart of At.
+//
+//memca:hotpath
 func (e *Engine) AtCall(t time.Duration, actor Actor, arg any) Event {
 	if actor == nil {
 		panic("sim: AtCall called with nil actor")
@@ -312,6 +316,8 @@ func (e *Engine) canceled(id int32, gen uint32) bool {
 
 // Step fires the next event, advancing the clock to its timestamp. It
 // returns false when no runnable event remains.
+//
+//memca:hotpath
 func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
 		canceled := e.slots[e.heap[0].id].canceled

@@ -46,6 +46,8 @@ func NewLatencyHistogram() *Histogram {
 }
 
 // Add records one observation.
+//
+//memca:hotpath
 func (h *Histogram) Add(v time.Duration) {
 	h.total++
 	h.sumSecs += v.Seconds()

@@ -23,6 +23,8 @@ func NewLevelIntegrator() *LevelIntegrator {
 
 // Set records the level at time t. Times must be non-decreasing; setting
 // the same level again is a no-op.
+//
+//memca:hotpath
 func (li *LevelIntegrator) Set(t time.Duration, level float64) {
 	if ApproxEqual(level, li.level) {
 		return
@@ -34,6 +36,8 @@ func (li *LevelIntegrator) Set(t time.Duration, level float64) {
 }
 
 // Add shifts the level by delta at time t.
+//
+//memca:hotpath
 func (li *LevelIntegrator) Add(t time.Duration, delta float64) {
 	li.Set(t, li.level+delta)
 }

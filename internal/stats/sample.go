@@ -27,6 +27,8 @@ func NewSample(capacity int) *Sample {
 }
 
 // Add records one observation.
+//
+//memca:hotpath
 func (s *Sample) Add(v time.Duration) {
 	s.values = append(s.values, v)
 	s.sorted = false

@@ -120,17 +120,23 @@ func (c *Collector) Epoch() time.Time { return c.epoch }
 func (c *Collector) Now() time.Duration { return time.Since(c.epoch) }
 
 // NextTraceID mints a fresh trace ID (never zero).
+//
+//memca:hotpath
 func (c *Collector) NextTraceID() uint64 { return c.nextTrace.Add(1) }
 
 // Record stamps the current time and appends one span event. Lock- and
 // allocation-free: an atomic slot claim, a struct write, and a release
 // store publishing the slot.
+//
+//memca:hotpath
 func (c *Collector) Record(traceID uint64, kind telemetry.EventKind, tier, attempt int, aux time.Duration) {
 	c.RecordAt(c.Now(), traceID, kind, tier, attempt, aux)
 }
 
 // RecordAt appends one span event with an explicit timestamp (wall time
 // since the epoch), for callers that already stamped the instant.
+//
+//memca:hotpath
 func (c *Collector) RecordAt(t time.Duration, traceID uint64, kind telemetry.EventKind, tier, attempt int, aux time.Duration) {
 	seq := c.cursor.Add(1) - 1
 	if seq >= uint64(len(c.events)) {

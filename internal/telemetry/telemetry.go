@@ -284,6 +284,8 @@ func (t *Tracer) recBacking(idx int) (queue, service []time.Duration) {
 }
 
 // Observe implements queueing.Observer.
+//
+//memca:hotpath
 func (t *Tracer) Observe(req *queueing.Request, kind queueing.SpanKind, tier int) {
 	now := t.engine.Now()
 	t.pushEvent(now, req.TraceID, EventKind(kind), tier, req.Attempt, 0)
@@ -322,6 +324,8 @@ func (t *Tracer) Observe(req *queueing.Request, kind queueing.SpanKind, tier int
 
 // RetransmitScheduled implements the workload generator's TraceHook: a
 // dropped attempt was queued for resubmission at fireAt.
+//
+//memca:hotpath
 func (t *Tracer) RetransmitScheduled(traceID uint64, attempt int, fireAt time.Duration) {
 	t.pushEvent(t.engine.Now(), traceID, EvRetransmitScheduled, -1, attempt, fireAt)
 }
@@ -332,6 +336,8 @@ func (t *Tracer) TraceAbandoned(traceID uint64) { t.Abandon(traceID) }
 
 // Abandon closes a trace that will never complete. It is safe to call for
 // unknown or untracked trace IDs.
+//
+//memca:hotpath
 func (t *Tracer) Abandon(traceID uint64) {
 	now := t.engine.Now()
 	t.pushEvent(now, traceID, EvAbandoned, -1, 0, 0)
