@@ -37,10 +37,14 @@ race:
 equivalence:
 	$(GO) test -run 'TestSweepWorkerEquivalence|TestSweepProgressTotals|TestReplicateWorkerEquivalence' -v ./internal/figures ./internal/core
 
-# Short fuzz pass over the file-facing config schema (seed corpus is
-# checked in under internal/core/testdata/fuzz).
+# Short fuzz passes over the file-facing config schema and the stats
+# kernels (seed corpora are checked in under the packages'
+# testdata/fuzz). FUZZTIME tunes the per-target budget.
+FUZZTIME = 30s
 fuzz:
-	$(GO) test -run FuzzConfigJSON -fuzz FuzzConfigJSON -fuzztime 30s ./internal/core
+	$(GO) test -run FuzzConfigJSON -fuzz FuzzConfigJSON -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzHistogramAdd -fuzztime $(FUZZTIME) ./internal/stats
+	$(GO) test -run '^$$' -fuzz FuzzSampleQuantile -fuzztime $(FUZZTIME) ./internal/stats
 
 # Engine performance regression report and gate: run the kernel and
 # headline-figure benchmarks for real (default benchtime), diff them
@@ -50,7 +54,7 @@ fuzz:
 # additionally gated per the baseline's gate_ns_pct when the CPU matches
 # the one that produced the baseline. The unanchored QueueingThroughput
 # pattern also matches its Traced variant.
-BENCH_REGRESSION = BenchmarkEngineEvents|BenchmarkQueueingThroughput|BenchmarkFig2TailAmplification
+BENCH_REGRESSION = BenchmarkEngineEvents|BenchmarkQueueingThroughput|BenchmarkFig2TailAmplification|BenchmarkStatsRecord
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_REGRESSION)' -benchmem . \
 		| tee /dev/stderr \

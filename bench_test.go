@@ -421,6 +421,36 @@ func BenchmarkPercentileSample(b *testing.B) {
 	}
 }
 
+// BenchmarkStatsRecord measures one sweep job's worth of arena-backed
+// stats work — checkout, record past the capacity hints, sort/query,
+// recycle — the steady-state kernel behind every figure run. The
+// allocs/op contract is 0: after warm-up the arena serves every slab and
+// object shell from its free lists, including the radix sort's scratch.
+func BenchmarkStatsRecord(b *testing.B) {
+	a := stats.NewArena()
+	record := func() {
+		s := a.Sample(1024)
+		h := a.LatencyHistogram()
+		for j := 0; j < 4096; j++ {
+			d := time.Duration(j%977) * time.Millisecond
+			s.Add(d)
+			h.Add(d)
+		}
+		if s.Quantile(0.99) == 0 {
+			b.Fatal("unexpected zero quantile")
+		}
+		a.Reset()
+	}
+	for i := 0; i < 8; i++ {
+		record() // warm the slab classes and free-list spines
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		record()
+	}
+}
+
 // BenchmarkP2Quantile measures the streaming quantile estimator.
 func BenchmarkP2Quantile(b *testing.B) {
 	p2, err := stats.NewP2Quantile(0.95)

@@ -76,6 +76,11 @@ type Burster struct {
 	// busy integrates the adversary VM's activity: 1 during ON bursts.
 	// This is what Figure 9a plots.
 	busy *stats.BusyIntegrator
+
+	// cycleFn and endFn are bound once so each burst cycle schedules
+	// both flanks without materializing new closures.
+	cycleFn func()
+	endFn   func()
 }
 
 // NewBurster builds a burster. Start must be called to begin attacking.
@@ -89,12 +94,19 @@ func NewBurster(engine *sim.Engine, injector Injector, params Params) (*Burster,
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	return &Burster{
+	b := &Burster{
 		engine:   engine,
 		injector: injector,
 		params:   params,
 		busy:     stats.NewBusyIntegrator(),
-	}, nil
+	}
+	b.cycleFn = b.cycle
+	b.endFn = func() {
+		if b.inBurst {
+			b.endBurst()
+		}
+	}
+	return b, nil
 }
 
 // Params returns the parameters currently in force.
@@ -152,17 +164,13 @@ func (b *Burster) cycle() {
 	}
 	b.beginBurst()
 	p := b.params
-	b.engine.Schedule(p.BurstLength, func() {
-		if b.inBurst {
-			b.endBurst()
-		}
-	})
+	b.engine.Schedule(p.BurstLength, b.endFn)
 	next := p.Interval
 	if p.Jitter > 0 {
 		f := 1 - p.Jitter/2 + p.Jitter*b.engine.Rand().Float64()
 		next = time.Duration(float64(p.Interval) * f)
 	}
-	b.engine.Schedule(next, b.cycle)
+	b.engine.Schedule(next, b.cycleFn)
 }
 
 func (b *Burster) beginBurst() {

@@ -164,8 +164,8 @@ func (mi *MemoryInjector) BurstEnd() {
 // applyVictimCapacity recomputes the host allocation and pushes the
 // resulting degradation index into the victim tier.
 func (mi *MemoryInjector) applyVictimCapacity() {
-	alloc := mi.host.Allocate()
-	d := memmodel.CapacityMultiplier(mi.profile, alloc.PerVM[mi.victimVM], alloc.LockSeverity)
+	bw, severity := mi.host.VMAllocation(mi.victimVM)
+	d := memmodel.CapacityMultiplier(mi.profile, bw, severity)
 	mi.LastD = d
 	if err := mi.net.SetCapacityMultiplier(mi.victimTier, d); err != nil {
 		panic(err) // tier was validated at construction

@@ -14,6 +14,7 @@ import (
 	"memca/internal/memmodel"
 	"memca/internal/monitor"
 	"memca/internal/queueing"
+	"memca/internal/stats"
 	"memca/internal/telemetry"
 	"memca/internal/workload"
 )
@@ -173,6 +174,13 @@ type Config struct {
 	// LLCSamplePeriod, when positive, samples the victim and adversary
 	// VMs' LLC miss rates (Figure 11).
 	LLCSamplePeriod time.Duration
+	// Arena, when non-nil, backs every stats object of the run (tier and
+	// client samples, level integrators, the tracer's duration slab) with
+	// recycled slab storage; see stats.Arena. It is a runtime-only knob —
+	// the file-facing config schema (ConfigJSON) does not carry it. The
+	// arena must not be Reset before the run's Report has been built:
+	// the Report itself holds only heap copies and survives a Reset.
+	Arena *stats.Arena
 }
 
 // DefaultConfig returns the paper's RUBBoS evaluation setup with the

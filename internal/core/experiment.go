@@ -88,6 +88,7 @@ func NewExperiment(cfg Config) (*Experiment, error) {
 		Mode:    queueing.ModeNTierRPC,
 		Tiers:   tiers,
 		Classes: workload.RUBBoSClasses(),
+		Arena:   cfg.Arena,
 	}
 	genCfg := workload.GeneratorConfig{
 		Clients:    cfg.Clients,
@@ -95,6 +96,7 @@ func NewExperiment(cfg Config) (*Experiment, error) {
 		Profile:    workload.RUBBoSProfile(),
 		Retransmit: queueing.DefaultRetransmit(),
 		RampUp:     10 * time.Second,
+		Arena:      cfg.Arena,
 	}
 	if cfg.Trace != nil {
 		x.tracer, err = telemetry.New(x.engine, telemetry.Config{
@@ -103,6 +105,7 @@ func NewExperiment(cfg Config) (*Experiment, error) {
 			TierNames: tierLabels(tiers),
 			Seed:      cfg.Seed,
 			Horizon:   cfg.Duration,
+			Arena:     cfg.Arena,
 		})
 		if err != nil {
 			return nil, err

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"memca/internal/stats"
 	"memca/internal/sweep"
 )
 
@@ -32,22 +33,34 @@ type ReplicateOptions struct {
 // index order. Replication i always uses sweep.DeriveSeed(cfg.Seed, i),
 // so the result set is a pure function of (cfg, runs) — independent of
 // worker count and stable across processes.
+//
+// Each worker carries one stats arena, reset between runs, so the stats
+// recording of every replication after the first reuses warm slabs. A
+// caller-supplied cfg.Arena is left alone (the caller then owns resets,
+// and replications must run serially on it — pass Workers: 1).
 func Replicate(ctx context.Context, cfg Config, runs int, opts ReplicateOptions) ([]Replication, error) {
 	sweepOpts := sweep.Options{Workers: opts.Workers, Progress: opts.Progress}
-	return sweep.Run(ctx, sweepOpts, runs, func(jobCtx context.Context, i int) (Replication, error) {
-		runCfg := cfg
-		runCfg.Seed = sweep.DeriveSeed(cfg.Seed, i)
-		x, err := NewExperiment(runCfg)
-		if err != nil {
-			return Replication{}, err
-		}
-		// RunContext honors the sweep's cancellation, so an aborted
-		// replication set stops mid-simulation instead of finishing
-		// every in-flight multi-minute run.
-		rep, err := x.RunContext(jobCtx)
-		if err != nil {
-			return Replication{}, err
-		}
-		return Replication{Index: i, Seed: runCfg.Seed, Report: rep}, nil
-	})
+	return sweep.RunState(ctx, sweepOpts, runs, stats.GetArena, stats.PutArena,
+		func(jobCtx context.Context, arena *stats.Arena, i int) (Replication, error) {
+			runCfg := cfg
+			runCfg.Seed = sweep.DeriveSeed(cfg.Seed, i)
+			if runCfg.Arena == nil {
+				runCfg.Arena = arena
+				// The Report holds only heap copies, so the worker's arena
+				// can be recycled as soon as the run is distilled.
+				defer arena.Reset()
+			}
+			x, err := NewExperiment(runCfg)
+			if err != nil {
+				return Replication{}, err
+			}
+			// RunContext honors the sweep's cancellation, so an aborted
+			// replication set stops mid-simulation instead of finishing
+			// every in-flight multi-minute run.
+			rep, err := x.RunContext(jobCtx)
+			if err != nil {
+				return Replication{}, err
+			}
+			return Replication{Index: i, Seed: runCfg.Seed, Report: rep}, nil
+		})
 }

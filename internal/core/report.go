@@ -130,7 +130,7 @@ func (x *Experiment) buildReport(from, to time.Duration) (*Report, error) {
 		})
 	}
 
-	profile := workload.RUBBoSProfile()
+	profile := x.gen.Profile()
 	for i, page := range profile.Pages {
 		sample, err := x.gen.PageRT(i)
 		if err != nil {

@@ -37,10 +37,13 @@ type AblationResult struct {
 
 // runAttackVariant runs the default experiment with the given mutation
 // applied to its configuration and summarizes it as an AblationPoint.
-func runAttackVariant(opts Options, label string, mutate func(*core.Config)) (AblationPoint, error) {
+// The arena (may be nil) backs the run's stats; the point holds no
+// arena-backed memory.
+func runAttackVariant(opts Options, a *stats.Arena, label string, mutate func(*core.Config)) (AblationPoint, error) {
 	cfg := core.DefaultConfig()
 	cfg.Seed = opts.Seed
 	cfg.Duration = opts.duration(2 * time.Minute)
+	cfg.Arena = a
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -79,8 +82,8 @@ type attackVariant struct {
 // runAttackVariants fans a sweep's independent experiment runs over the
 // sweep engine; points come back in variant order.
 func runAttackVariants(opts Options, variants []attackVariant) ([]AblationPoint, error) {
-	return runJobs(opts, len(variants), func(i int) (AblationPoint, error) {
-		return runAttackVariant(opts, variants[i].label, variants[i].mutate)
+	return runArenaJobs(opts, len(variants), func(a *stats.Arena, i int) (AblationPoint, error) {
+		return runAttackVariant(opts, a, variants[i].label, variants[i].mutate)
 	})
 }
 
@@ -155,14 +158,14 @@ func AblationMechanisms(opts Options) (*AblationResult, error) {
 		{"no-slot-holding", queueing.ModeTandem, true, false},
 	}
 	m := rubbosModelLimits()
-	points, err := runJobs(opts, len(variants), func(i int) (AblationPoint, error) {
+	points, err := runArenaJobs(opts, len(variants), func(a *stats.Arena, i int) (AblationPoint, error) {
 		v := variants[i]
 		limits := m
 		if v.infinite {
 			limits = [3]int{queueing.Infinite, queueing.Infinite, queueing.Infinite}
 		}
 		e := sim.NewEngine(opts.Seed)
-		n, sources, err := buildModelNetwork(e, v.mode, limits, v.retransmit)
+		n, sources, err := buildModelNetwork(e, a, v.mode, limits, v.retransmit)
 		if err != nil {
 			return AblationPoint{}, fmt.Errorf("figures: ablation %s: %w", v.label, err)
 		}
@@ -290,8 +293,8 @@ func rubbosModelLimits() [3]int {
 }
 
 // buildModelNetwork is modelNetwork with a retransmission toggle.
-func buildModelNetwork(e *sim.Engine, mode queueing.Mode, limits [3]int, retransmit bool) (*queueing.Network, []*queueing.Source, error) {
-	n, sources, err := modelNetwork(e, mode, limits)
+func buildModelNetwork(e *sim.Engine, a *stats.Arena, mode queueing.Mode, limits [3]int, retransmit bool) (*queueing.Network, []*queueing.Source, error) {
+	n, sources, err := modelNetwork(e, a, mode, limits)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -69,6 +69,21 @@ func runJobs[T any](o Options, n int, job func(index int) (T, error)) ([]T, erro
 	})
 }
 
+// runArenaJobs is runJobs with one stats arena per sweep worker: the job
+// receives the worker's arena, which is reset as soon as the job returns,
+// so every run after a worker's first records into warm slabs. Jobs must
+// therefore copy anything they keep out of arena-backed objects before
+// returning — results that alias live experiment state (tier integrators,
+// generator series, tracer slabs) belong on plain runJobs instead.
+func runArenaJobs[T any](o Options, n int, job func(a *stats.Arena, index int) (T, error)) ([]T, error) {
+	opts := sweep.Options{Workers: o.Parallel, Progress: o.Progress}
+	return sweep.RunState(context.Background(), opts, n, stats.GetArena, stats.PutArena,
+		func(_ context.Context, a *stats.Arena, i int) (T, error) {
+			defer a.Reset()
+			return job(a, i)
+		})
+}
+
 // path joins OutDir with name; it returns "" when output is disabled.
 func (o Options) path(name string) string {
 	if o.OutDir == "" {
@@ -105,7 +120,9 @@ func writeSeries(path string, ts *stats.TimeSeries) error {
 // RUBBoS model (one class per tier depth, rates from the model), used by
 // the model-level experiments of Figures 6 and 7. mode selects tandem or
 // RPC coupling; queueLimits overrides the per-tier limits (0 = Infinite).
-func modelNetwork(e *sim.Engine, mode queueing.Mode, queueLimits [3]int) (*queueing.Network, []*queueing.Source, error) {
+// a, when non-nil, backs the network's per-tier stats and the sources'
+// client samples (see stats.Arena).
+func modelNetwork(e *sim.Engine, a *stats.Arena, mode queueing.Mode, queueLimits [3]int) (*queueing.Network, []*queueing.Source, error) {
 	m := analytical.RUBBoS3Tier()
 	tiers := make([]queueing.TierConfig, 3)
 	for i, t := range m.Tiers {
@@ -125,7 +142,7 @@ func modelNetwork(e *sim.Engine, mode queueing.Mode, queueLimits [3]int) (*queue
 		{Name: "to-tomcat", Depth: 1},
 		{Name: "to-mysql", Depth: 2},
 	}
-	n, err := queueing.New(e, queueing.Config{Mode: mode, Tiers: tiers, Classes: classes})
+	n, err := queueing.New(e, queueing.Config{Mode: mode, Tiers: tiers, Classes: classes, Arena: a})
 	if err != nil {
 		return nil, nil, err
 	}

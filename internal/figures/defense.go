@@ -64,6 +64,9 @@ func DefenseEvaluation(opts Options) (*DefenseResult, error) {
 		{"bus-saturation", memmodel.AttackBusSaturation, "split-lock-protection", splitLock},
 	}
 
+	// Plain runJobs (no arena): each cell keeps its live experiment so the
+	// detection pass below can replay the undefended lock attack's exact
+	// CPU signal after the sweep returns.
 	type cellRun struct {
 		point DefensePoint
 		x     *core.Experiment

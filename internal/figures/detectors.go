@@ -63,6 +63,8 @@ func DetectorComparison(opts Options) (*DetectorComparisonResult, error) {
 	}
 
 	// The attacked run and the clean baseline are independent simulations.
+	// Plain runJobs (no arena): the returned signal sources close over the
+	// runs' live busy integrators, which are read after the sweep returns.
 	withAttack := []bool{true, false}
 	signals, err := runJobs(opts, len(withAttack), func(i int) (*signal, error) {
 		s, err := run(withAttack[i])

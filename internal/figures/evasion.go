@@ -8,6 +8,7 @@ import (
 	"memca/internal/core"
 	"memca/internal/defense"
 	"memca/internal/monitor"
+	"memca/internal/stats"
 	"memca/internal/trace"
 )
 
@@ -44,12 +45,15 @@ type EvasionResult struct {
 func JitterEvasion(opts Options) (*EvasionResult, error) {
 	res := &EvasionResult{}
 	jitters := []float64{0, 0.25, 0.5, 0.75}
-	points, err := runJobs(opts, len(jitters), func(ji int) (EvasionPoint, error) {
+	points, err := runArenaJobs(opts, len(jitters), func(a *stats.Arena, ji int) (EvasionPoint, error) {
 		jitter := jitters[ji]
 		cfg := core.DefaultConfig()
 		cfg.Seed = opts.Seed
 		cfg.Duration = opts.duration(2 * time.Minute)
 		cfg.Attack.Params.Jitter = jitter
+		// The busy integrator read below is arena-backed; it is consumed
+		// in full before the job returns and the arena resets.
+		cfg.Arena = a
 		x, err := core.NewExperiment(cfg)
 		if err != nil {
 			return EvasionPoint{}, fmt.Errorf("figures: evasion jitter=%v: %w", jitter, err)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"memca/internal/core"
+	"memca/internal/stats"
 )
 
 // Fig2Result captures Figure 2: per-tier percentile response times of the
@@ -33,12 +34,13 @@ func Fig2(opts Options) (*Fig2Result, error) {
 		AmplificationOK: true,
 	}
 	envs := []core.Env{core.EnvEC2, core.EnvPrivateCloud}
-	reports, err := runJobs(opts, len(envs), func(i int) (*core.Report, error) {
+	reports, err := runArenaJobs(opts, len(envs), func(a *stats.Arena, i int) (*core.Report, error) {
 		env := envs[i]
 		cfg := core.DefaultConfig()
 		cfg.Seed = opts.Seed
 		cfg.Env = env
 		cfg.Duration = opts.duration(3 * time.Minute)
+		cfg.Arena = a // the Report holds only heap copies; see core.Config
 		x, err := core.NewExperiment(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("figures: fig2 %v: %w", env, err)

@@ -9,6 +9,7 @@ import (
 	"memca/internal/attack"
 	"memca/internal/queueing"
 	"memca/internal/sim"
+	"memca/internal/stats"
 	"memca/internal/trace"
 )
 
@@ -50,9 +51,9 @@ func Fig6(opts Options) (*Fig6Result, error) {
 		maxOcc  [3]float64
 		fullAt  [3]time.Duration
 	}
-	run := func(mode queueing.Mode, queueLimits [3]int) (*runResult, error) {
+	run := func(a *stats.Arena, mode queueing.Mode, queueLimits [3]int) (*runResult, error) {
 		e := sim.NewEngine(opts.Seed)
-		n, sources, err := modelNetwork(e, mode, queueLimits)
+		n, sources, err := modelNetwork(e, a, mode, queueLimits)
 		if err != nil {
 			return nil, err
 		}
@@ -128,8 +129,8 @@ func Fig6(opts Options) (*Fig6Result, error) {
 		{"tandem", queueing.ModeTandem, [3]int{queueing.Infinite, queueing.Infinite, queueing.Infinite}},
 		{"rpc", queueing.ModeNTierRPC, limits},
 	}
-	runs, err := runJobs(opts, len(variants), func(i int) (*runResult, error) {
-		rr, err := run(variants[i].mode, variants[i].limits)
+	runs, err := runArenaJobs(opts, len(variants), func(a *stats.Arena, i int) (*runResult, error) {
+		rr, err := run(a, variants[i].mode, variants[i].limits)
 		if err != nil {
 			return nil, fmt.Errorf("figures: fig6 %s: %w", variants[i].name, err)
 		}

@@ -69,10 +69,10 @@ func Fig7(opts Options) (*Fig7Result, error) {
 		order  []string
 		result Fig7CaseResult
 	}
-	runs, err := runJobs(opts, len(variants), func(vi int) (*caseRun, error) {
+	runs, err := runArenaJobs(opts, len(variants), func(a *stats.Arena, vi int) (*caseRun, error) {
 		v := variants[vi]
 		e := sim.NewEngine(opts.Seed)
-		n, sources, err := modelNetwork(e, v.mode, v.limits)
+		n, sources, err := modelNetwork(e, a, v.mode, v.limits)
 		if err != nil {
 			return nil, fmt.Errorf("figures: fig7 %s: %w", v.name, err)
 		}
@@ -100,7 +100,7 @@ func Fig7(opts Options) (*Fig7Result, error) {
 		}
 
 		// Client RT: merge the per-source samples (deep class dominates).
-		client := stats.NewSample(4096)
+		client := stats.NewSampleIn(a, 4096)
 		for _, s := range sources {
 			for _, rt := range s.ClientRT().Values() {
 				client.Add(rt)

@@ -7,6 +7,7 @@ import (
 
 	"memca/internal/core"
 	"memca/internal/monitor"
+	"memca/internal/stats"
 )
 
 // FlashCrowdResult contrasts an organic load surge with MemCA: a flash
@@ -28,8 +29,15 @@ type FlashCrowdResult struct {
 // FlashCrowd doubles the client population for two minutes of a four-
 // minute attackless run with a live scaling group attached.
 func FlashCrowd(opts Options) (*FlashCrowdResult, error) {
+	// The driver reads the generator's arena-backed RT series after the
+	// single run, so the arena is scoped to the whole driver (released,
+	// and thereby reset, only after the CSV is written) rather than
+	// per-job as in runArenaJobs.
+	arena := stats.GetArena()
+	defer stats.PutArena(arena)
 	cfg := core.DefaultConfig()
 	cfg.Seed = opts.Seed
+	cfg.Arena = arena
 	cfg.Attack = nil
 	cfg.Duration = 5 * time.Minute // fixed: the 1-min trigger needs room
 	cfg.Scaling = &core.ScalingSpec{

@@ -82,6 +82,7 @@ func DefaultConfig() *Config {
 			"memca/internal/lint",
 		},
 		EscapeBudget: []string{
+			"memca/internal/memmodel",
 			"memca/internal/queueing",
 			"memca/internal/sim",
 			"memca/internal/stats",

@@ -16,8 +16,9 @@
 package memmodel
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Workload identifies what a VM is currently running, from the memory
@@ -187,6 +188,22 @@ type Host struct {
 	reservations map[string]float64
 	// splitLockProtection traps bus locks; see SetSplitLockProtection.
 	splitLockProtection bool
+
+	// Scratch reused across allocate calls so the burst-transition path
+	// (attack.MemoryInjector -> VMAllocation) performs no steady-state
+	// allocations. Methods are single-threaded (see type comment), so one
+	// set per host suffices.
+	perVMScratch  map[string]float64
+	pinnedScratch [][]demander
+	floatScratch  []demander
+	sharedScratch []demander
+}
+
+// demander is one VM with positive effective bandwidth demand, grouped by
+// sharing domain during allocation.
+type demander struct {
+	vm     *VM
+	demand float64
 }
 
 // NewHost returns a host with the given configuration and no VMs.
@@ -296,23 +313,55 @@ type Allocation struct {
 // Allocate computes the bandwidth available to every VM under the current
 // workload mix using max-min fair sharing of per-package (or pooled, for
 // floating VMs) capacity, after subtracting lock-attack degradation and
-// per-VM contention overhead.
+// per-VM contention overhead. The returned map is freshly allocated and
+// owned by the caller; the burst-transition hot path uses VMAllocation
+// instead.
 func (h *Host) Allocate() Allocation {
-	alloc := Allocation{PerVM: make(map[string]float64, len(h.vms)), LockSeverity: h.lockSeverity()}
+	perVM, severity := h.allocate()
+	out := make(map[string]float64, len(perVM))
+	for id, bw := range perVM {
+		out[id] = bw
+	}
+	return Allocation{PerVM: out, LockSeverity: severity}
+}
+
+// VMAllocation returns the bandwidth available to one VM and the
+// system-wide lock severity without materializing an Allocation. A
+// missing ID yields 0 bandwidth, matching an absent Allocation.PerVM
+// entry. Attack burst transitions call this on every flank, so it reuses
+// host-owned scratch and performs no steady-state allocations.
+//
+//memca:hotpath
+func (h *Host) VMAllocation(id string) (bandwidthMBps, lockSeverity float64) {
+	perVM, severity := h.allocate()
+	return perVM[id], severity
+}
+
+// allocate computes the current allocation into the host's scratch map,
+// which stays valid until the next allocate call.
+func (h *Host) allocate() (map[string]float64, float64) {
+	if h.perVMScratch == nil {
+		h.perVMScratch = make(map[string]float64, len(h.vms))
+	}
+	clear(h.perVMScratch)
+	if len(h.pinnedScratch) < h.cfg.Packages {
+		h.pinnedScratch = make([][]demander, h.cfg.Packages)
+	}
+	for i := range h.pinnedScratch {
+		h.pinnedScratch[i] = h.pinnedScratch[i][:0]
+	}
+	h.floatScratch = h.floatScratch[:0]
+
+	perVM := h.perVMScratch
+	severity := h.lockSeverity()
 
 	// System-wide factor from bus locking.
-	lockFactor := 1 - alloc.LockSeverity*(1-h.cfg.LockBandwidthFraction)
+	lockFactor := 1 - severity*(1-h.cfg.LockBandwidthFraction)
 
 	// Group demanding VMs by domain: one domain per package for pinned
 	// VMs, plus a pooled domain for floating VMs. Floating VMs share the
 	// pooled capacity of all packages at NUMA efficiency, minus what the
 	// pinned VMs consume.
-	type demander struct {
-		vm     *VM
-		demand float64
-	}
-	pinned := make(map[int][]demander)
-	var floating []demander
 	for _, v := range h.vms {
 		var d float64
 		switch v.Workload {
@@ -322,95 +371,99 @@ func (h *Host) Allocate() Allocation {
 				d = h.cfg.SingleCoreDemandMBps
 			}
 		case WorkloadLock:
-			alloc.PerVM[v.ID] = 0 // a locker transfers almost nothing
+			perVM[v.ID] = 0 // a locker transfers almost nothing
 			continue
 		default:
-			alloc.PerVM[v.ID] = 0
+			perVM[v.ID] = 0
 			continue
 		}
 		if d <= 0 {
-			alloc.PerVM[v.ID] = 0
+			perVM[v.ID] = 0
 			continue
 		}
 		if v.Package == FloatingPackage {
-			floating = append(floating, demander{vm: v, demand: d})
+			h.floatScratch = append(h.floatScratch, demander{vm: v, demand: d})
 		} else {
-			pinned[v.Package] = append(pinned[v.Package], demander{vm: v, demand: d})
-		}
-	}
-
-	fairShare := func(capacity float64, ds []demander) {
-		if len(ds) == 0 {
-			return
-		}
-		// Reserved VMs take their dedicated partition off the top: the
-		// partition is immune to contention overhead but not to bus
-		// locks (hardware stalls sit below the partitioning layer).
-		shared := ds[:0:0]
-		for _, d := range ds {
-			if r := h.reservations[d.vm.ID]; r > 0 {
-				grant := d.demand
-				if grant > r {
-					grant = r
-				}
-				if grant > capacity {
-					grant = capacity
-				}
-				alloc.PerVM[d.vm.ID] = grant * lockFactor
-				capacity -= grant
-				continue
-			}
-			shared = append(shared, d)
-		}
-		ds = shared
-		if len(ds) == 0 {
-			return
-		}
-		// Contention overhead shrinks capacity as sharers increase.
-		capacity *= 1 - h.cfg.ContentionOverhead*float64(len(ds)-1)
-		if capacity < 0 {
-			capacity = 0
-		}
-		// Max-min fair: satisfy the smallest demands first, then split
-		// what is left evenly among the still-unsatisfied.
-		sort.Slice(ds, func(i, j int) bool {
-			// Strict < both ways keeps the exact tie-break semantics
-			// without an exact float equality.
-			if ds[i].demand < ds[j].demand {
-				return true
-			}
-			if ds[j].demand < ds[i].demand {
-				return false
-			}
-			return ds[i].vm.ID < ds[j].vm.ID
-		})
-		remaining := capacity
-		left := len(ds)
-		for _, d := range ds {
-			share := remaining / float64(left)
-			grant := d.demand
-			if grant > share {
-				grant = share
-			}
-			alloc.PerVM[d.vm.ID] = grant * lockFactor
-			remaining -= grant
-			left--
+			h.pinnedScratch[v.Package] = append(h.pinnedScratch[v.Package], demander{vm: v, demand: d})
 		}
 	}
 
 	pinnedUse := 0.0
 	for pkg := 0; pkg < h.cfg.Packages; pkg++ {
-		fairShare(h.cfg.BusBandwidthMBps, pinned[pkg])
-		for _, d := range pinned[pkg] {
-			pinnedUse += alloc.PerVM[d.vm.ID]
+		h.fairShare(perVM, lockFactor, h.cfg.BusBandwidthMBps, h.pinnedScratch[pkg])
+		// Sum in the original placement order (fairShare sorts only its
+		// own copy), keeping the float accumulation byte-stable.
+		for _, d := range h.pinnedScratch[pkg] {
+			pinnedUse += perVM[d.vm.ID]
 		}
 	}
 	pooled := float64(h.cfg.Packages)*h.cfg.BusBandwidthMBps*h.cfg.NUMAEfficiency - pinnedUse
 	if pooled < 0 {
 		pooled = 0
 	}
-	fairShare(pooled, floating)
-	return alloc
+	h.fairShare(perVM, lockFactor, pooled, h.floatScratch)
+	return perVM, severity
+}
+
+// fairShare grants each demander its max-min fair share of capacity and
+// records the grants into perVM. ds itself is left untouched: the
+// demand-sorted working copy lives in the host's shared scratch.
+func (h *Host) fairShare(perVM map[string]float64, lockFactor, capacity float64, ds []demander) {
+	if len(ds) == 0 {
+		return
+	}
+	// Reserved VMs take their dedicated partition off the top: the
+	// partition is immune to contention overhead but not to bus
+	// locks (hardware stalls sit below the partitioning layer).
+	h.sharedScratch = h.sharedScratch[:0]
+	for _, d := range ds {
+		if r := h.reservations[d.vm.ID]; r > 0 {
+			grant := d.demand
+			if grant > r {
+				grant = r
+			}
+			if grant > capacity {
+				grant = capacity
+			}
+			perVM[d.vm.ID] = grant * lockFactor
+			capacity -= grant
+			continue
+		}
+		h.sharedScratch = append(h.sharedScratch, d)
+	}
+	ds = h.sharedScratch
+	if len(ds) == 0 {
+		return
+	}
+	// Contention overhead shrinks capacity as sharers increase.
+	capacity *= 1 - h.cfg.ContentionOverhead*float64(len(ds)-1)
+	if capacity < 0 {
+		capacity = 0
+	}
+	// Max-min fair: satisfy the smallest demands first, then split
+	// what is left evenly among the still-unsatisfied. The comparator is
+	// a total order (IDs are unique), so any sort yields one sequence.
+	slices.SortFunc(ds, func(a, b demander) int {
+		if a.demand < b.demand {
+			return -1
+		}
+		if b.demand < a.demand {
+			return 1
+		}
+		return cmp.Compare(a.vm.ID, b.vm.ID)
+	})
+	remaining := capacity
+	left := len(ds)
+	for _, d := range ds {
+		share := remaining / float64(left)
+		grant := d.demand
+		if grant > share {
+			grant = share
+		}
+		perVM[d.vm.ID] = grant * lockFactor
+		remaining -= grant
+		left--
+	}
 }
 
 // AvailableBandwidth returns the bandwidth available to one VM under the
@@ -419,7 +472,8 @@ func (h *Host) AvailableBandwidth(id string) (float64, error) {
 	if _, err := h.VM(id); err != nil {
 		return 0, err
 	}
-	return h.Allocate().PerVM[id], nil
+	bw, _ := h.VMAllocation(id)
+	return bw, nil
 }
 
 // LLCMissRate returns the current LLC miss rate (misses/s) a profiler like

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"memca/internal/sim"
+	"memca/internal/stats"
 )
 
 // Mode selects the inter-tier coupling model.
@@ -119,6 +120,13 @@ type Config struct {
 	// else, keeping the uninstrumented hot path identical to a network
 	// built without observation.
 	Observer Observer
+	// Arena, when non-nil, backs the per-tier samples and level
+	// integrators (and those of sources bound to the network), so a run
+	// reuses slab storage instead of growing fresh slices. The caller owns
+	// the arena's lifecycle: it must outlive the network and must not be
+	// Reset while the network's metrics are still read. Nil keeps plain
+	// heap allocation.
+	Arena *stats.Arena
 }
 
 // Validate reports the first configuration error, or nil.

@@ -56,18 +56,38 @@ func New(engine *sim.Engine, cfg Config) (*Network, error) {
 	return n, nil
 }
 
+// reqBlock is how many requests a pool refill allocates at once. Blocks
+// turn the cold-pool ramp (thousands of in-flight requests for a large
+// client population) into two allocations each instead of three per
+// request.
+const reqBlock = 64
+
 // getRequest checks a request out of the pool, reset for a class of the
 // given depth.
 func (n *Network) getRequest(depth int) *Request {
-	var req *Request
-	if k := len(n.freeReqs); k > 0 {
-		req = n.freeReqs[k-1]
-		n.freeReqs = n.freeReqs[:k-1]
-	} else {
-		req = &Request{}
+	if len(n.freeReqs) == 0 {
+		n.growRequests()
 	}
+	k := len(n.freeReqs)
+	req := n.freeReqs[k-1]
+	n.freeReqs = n.freeReqs[:k-1]
 	req.reset(depth)
 	return req
+}
+
+// growRequests refills the pool with one block of requests whose
+// TierArrive/TierLeave slices are carved from a single backing slab, each
+// with capacity for the deepest class so Request.reset never reallocates.
+func (n *Network) growRequests() {
+	width := len(n.tiers)
+	reqs := make([]Request, reqBlock)
+	backing := make([]time.Duration, reqBlock*2*width)
+	for i := range reqs {
+		off := i * 2 * width
+		reqs[i].TierArrive = backing[off : off : off+width]
+		reqs[i].TierLeave = backing[off+width : off+width : off+2*width]
+		n.freeReqs = append(n.freeReqs, &reqs[i])
+	}
 }
 
 // putRequest returns a finished request to the pool. Callbacks have
@@ -286,11 +306,12 @@ func (n *Network) CapacityScale(i int) (float64, error) {
 }
 
 // ResetTierSamples discards the accumulated per-tier response-time
-// samples (e.g. after a warm-up phase). Level integrators keep their full
-// history since utilization queries are windowed.
+// samples in place (e.g. after a warm-up phase), keeping their backing
+// storage. Level integrators keep their full history since utilization
+// queries are windowed.
 func (n *Network) ResetTierSamples() {
 	for _, t := range n.tiers {
-		t.rt = stats.NewSample(1024)
+		t.rt.Reset()
 	}
 }
 

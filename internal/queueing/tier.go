@@ -58,16 +58,17 @@ type tier struct {
 }
 
 func newTier(cfg TierConfig, idx int, net *Network) *tier {
+	a := net.cfg.Arena
 	return &tier{
 		cfg:       cfg,
 		idx:       idx,
 		net:       net,
 		mult:      1,
 		scale:     1,
-		occupancy: stats.NewLevelIntegrator(),
-		backlog:   stats.NewLevelIntegrator(),
-		busy:      stats.NewLevelIntegrator(),
-		rt:        stats.NewSample(1024),
+		occupancy: stats.NewLevelIntegratorIn(a),
+		backlog:   stats.NewLevelIntegratorIn(a),
+		busy:      stats.NewLevelIntegratorIn(a),
+		rt:        stats.NewSampleIn(a, 1024),
 	}
 }
 

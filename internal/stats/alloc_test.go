@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+// statsPass is one simulated run's worth of stats work against a single
+// arena: check out every kernel type, record past the initial capacity
+// hints (forcing the slab trade-up path), query, and recycle. After
+// warm-up this must not touch the heap at all.
+func statsPass(a *Arena) {
+	defer a.Reset()
+	s := a.Sample(1024)
+	h := a.LatencyHistogram()
+	li := a.LevelIntegrator()
+	ts := a.TimeSeries("alloc-probe")
+	for i := 0; i < 4096; i++ {
+		d := time.Duration(i%977) * time.Millisecond
+		s.Add(d)
+		h.Add(d)
+		li.Set(time.Duration(i)*time.Millisecond, float64(i%3))
+		ts.Add(time.Duration(i)*time.Millisecond, float64(i%7))
+	}
+	_ = s.Quantile(0.99) // radix path: n >= radixMinLen
+	_ = s.Mean()
+	_ = s.Max()
+	_ = h.Quantile(0.99)
+	_ = li.Integral(4096 * time.Millisecond)
+}
+
+// TestArenaStatsPathZeroAllocs is the gated allocation contract behind the
+// tentpole: after warm-up, a full checkout → record → sort/query → Reset
+// cycle performs zero heap allocations, so a figure run's stats path costs
+// nothing in steady state. The contract mirrors the telemetry tracer's
+// zero-alloc submit test; the regression gate lives in
+// BenchmarkStatsRecord via bench/baseline.json.
+func TestArenaStatsPathZeroAllocs(t *testing.T) {
+	a := NewArena()
+	// Warm the slab classes, the object shells, and the free-list spines.
+	for i := 0; i < 8; i++ {
+		statsPass(a)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { statsPass(a) }); allocs != 0 {
+		t.Errorf("stats pass allocated %.1f objects per run after warm-up, want 0", allocs)
+	}
+	if st := a.Stats(); st.Spills != 0 {
+		t.Errorf("stats pass spilled %d slabs past the default budget", st.Spills)
+	}
+}
+
+// TestArenaBudgetSpillAccounting pins the horizon cap: growth past the
+// byte budget still succeeds (results stay exact) but is booked as spills
+// with the overrun bytes, and pooled storage is re-counted only once.
+func TestArenaBudgetSpillAccounting(t *testing.T) {
+	a := NewArena()
+	a.SetBudgetBytes(8 << 10) // one minimum slab (1024 durations × 8 bytes) fits exactly
+	s := a.Sample(1024)
+	if st := a.Stats(); st.Spills != 0 {
+		t.Fatalf("first in-budget slab counted as spill: %+v", st)
+	}
+	for i := 0; i < 2048; i++ { // grow past the budgeted slab
+		s.Add(time.Duration(i))
+	}
+	st := a.Stats()
+	if st.Spills == 0 || st.SpillBytes == 0 {
+		t.Fatalf("over-budget growth not recorded as spill: %+v", st)
+	}
+	if st.OwnedBytes <= st.BudgetBytes {
+		t.Fatalf("owned bytes %d not past budget %d despite spill", st.OwnedBytes, st.BudgetBytes)
+	}
+	if got, want := s.Len(), 2048; got != want {
+		t.Fatalf("spilled sample lost observations: len %d, want %d", got, want)
+	}
+	spillsBefore := st.Spills
+	a.Reset()
+	s = a.Sample(1024)
+	for i := 0; i < 2048; i++ {
+		s.Add(time.Duration(i))
+	}
+	if st := a.Stats(); st.Spills != spillsBefore {
+		t.Fatalf("recycled slabs re-counted as spills: %d -> %d", spillsBefore, st.Spills)
+	}
+}

@@ -1,0 +1,472 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Arena owns the slab storage behind the Samples, LevelIntegrators,
+// TimeSeries, and Histograms of one experiment run, so that repeated runs
+// (benchmark iterations, sweep jobs on the same worker) recycle storage
+// instead of re-allocating it. It mirrors the queueing package's request
+// pools: checkout via the constructor methods, recycle everything at once
+// via Reset.
+//
+// Ownership rules:
+//
+//   - An arena is single-goroutine, like the simulation engine it feeds.
+//     Distinct workers use distinct arenas (see sweep.RunState); the
+//     process-wide pool behind GetArena/PutArena is the only synchronized
+//     path.
+//   - Reset invalidates every object checked out since the previous Reset.
+//     Stale handles keep nil backing storage, so the first recording on
+//     one panics (in the grow path) instead of silently aliasing a slab
+//     that has been handed to a new object.
+//   - Results that outlive the run (reports, summaries, percentile
+//     curves) must be copied out of arena-backed objects before Reset;
+//     the exported query methods already return heap copies.
+//
+// Growth is horizon-capped by a byte budget rather than unbounded: slabs
+// come from power-of-two size classes, and any fresh allocation that
+// pushes the arena past its budget is recorded as a spill (count and
+// bytes) while still succeeding, so results stay exact and the overrun is
+// observable instead of silent.
+type Arena struct {
+	gen    uint64
+	resets uint64
+
+	budgetBytes int64
+	ownedBytes  int64
+	spills      int64
+	spillBytes  int64
+
+	durFree [slabClasses][][]time.Duration
+	ptFree  [slabClasses][][]Point
+	u64Free [slabClasses][][]uint64
+
+	// Live checked-out objects, harvested at Reset.
+	samples []*Sample
+	levels  []*LevelIntegrator
+	series  []*TimeSeries
+	hists   []*Histogram
+	slabs   [][]time.Duration
+
+	// Recycled object shells awaiting re-checkout.
+	freeSamples []*Sample
+	freeLevels  []*LevelIntegrator
+	freeSeries  []*TimeSeries
+	freeHists   []*Histogram
+
+	// scratch is the shared radix-sort ping-pong buffer (see
+	// sortDurations); every sample of the arena reuses it, which is safe
+	// because the arena is single-goroutine and the buffer is dead
+	// between sorts.
+	scratch []time.Duration
+}
+
+// DefaultArenaBudget is the slab budget of arenas built by NewArena:
+// large enough that full-scale figure runs stay spill-free, small enough
+// that a runaway recording loop shows up in ArenaStats.
+const DefaultArenaBudget = 256 << 20
+
+const (
+	// minClassBits is the smallest slab class (1024 elements), matching
+	// the sample capacity hints used across the simulator.
+	minClassBits = 10
+	// maxClassBits bounds the pooled classes; larger requests are served
+	// exactly and returned to the garbage collector on Reset.
+	maxClassBits = 30
+	slabClasses  = maxClassBits + 1
+)
+
+// slabClass returns the size-class exponent for a slab of at least minCap
+// elements, or -1 when the request exceeds the largest pooled class.
+func slabClass(minCap int) int {
+	if minCap <= 1<<minClassBits {
+		return minClassBits
+	}
+	b := bits.Len(uint(minCap - 1))
+	if b > maxClassBits {
+		return -1
+	}
+	return b
+}
+
+// NewArena returns an empty arena with the default byte budget.
+func NewArena() *Arena {
+	return &Arena{budgetBytes: DefaultArenaBudget}
+}
+
+// SetBudgetBytes caps the arena's owned slab bytes at n; growth past the
+// cap still succeeds but is counted as a spill. Non-positive disables the
+// cap.
+func (a *Arena) SetBudgetBytes(n int64) { a.budgetBytes = n }
+
+// ArenaStats describes an arena's storage accounting.
+type ArenaStats struct {
+	// OwnedBytes is the total slab storage the arena has allocated and
+	// still owns (live or pooled).
+	OwnedBytes int64
+	// BudgetBytes is the configured cap (0 = uncapped).
+	BudgetBytes int64
+	// Spills counts fresh allocations made while past the budget.
+	Spills int64
+	// SpillBytes is the storage those allocations added.
+	SpillBytes int64
+	// Live is the number of currently checked-out objects.
+	Live int
+	// Resets counts Reset calls over the arena's lifetime.
+	Resets uint64
+}
+
+// Stats returns the arena's current storage accounting.
+func (a *Arena) Stats() ArenaStats {
+	return ArenaStats{
+		OwnedBytes:  a.ownedBytes,
+		BudgetBytes: a.budgetBytes,
+		Spills:      a.spills,
+		SpillBytes:  a.spillBytes,
+		Live:        len(a.samples) + len(a.levels) + len(a.series) + len(a.hists) + len(a.slabs),
+		Resets:      a.resets,
+	}
+}
+
+// account books n fresh slab bytes, recording a spill past the budget.
+func (a *Arena) account(n int64) {
+	a.ownedBytes += n
+	if a.budgetBytes > 0 && a.ownedBytes > a.budgetBytes {
+		a.spills++
+		a.spillBytes += n
+	}
+}
+
+// check panics when a handle from a previous arena generation is used;
+// the slab it pointed at has been recycled.
+func (a *Arena) check(gen uint64) {
+	if gen != a.gen {
+		panic("stats: arena-backed object used after Arena.Reset")
+	}
+}
+
+// slabGet pops a pooled slab of at least minCap elements, or allocates a
+// fresh one (accounting its bytes). The result has length 0.
+func slabGet[T any](a *Arena, free *[slabClasses][][]T, minCap int, elemBytes int64) []T {
+	b := slabClass(minCap)
+	if b < 0 {
+		a.account(int64(minCap) * elemBytes)
+		return make([]T, 0, minCap)
+	}
+	if k := len(free[b]); k > 0 {
+		sl := free[b][k-1]
+		free[b][k-1] = nil
+		free[b] = free[b][:k-1]
+		return sl[:0]
+	}
+	a.account((int64(1) << b) * elemBytes)
+	return make([]T, 0, 1<<b)
+}
+
+// slabPut returns a slab to its class free list. Slabs outside the pooled
+// classes are released to the garbage collector and their bytes
+// un-accounted.
+func slabPut[T any](a *Arena, free *[slabClasses][][]T, sl []T, elemBytes int64) {
+	c := cap(sl)
+	if c == 0 {
+		return
+	}
+	if c < 1<<minClassBits || c&(c-1) != 0 || c > 1<<maxClassBits {
+		a.ownedBytes -= int64(c) * elemBytes
+		return
+	}
+	b := bits.Len(uint(c)) - 1
+	free[b] = append(free[b], sl[:0])
+}
+
+const (
+	durBytes = int64(8)
+	ptBytes  = int64(16)
+	u64Bytes = int64(8)
+)
+
+func (a *Arena) getDur(minCap int) []time.Duration { return slabGet(a, &a.durFree, minCap, durBytes) }
+func (a *Arena) putDur(sl []time.Duration)         { slabPut(a, &a.durFree, sl, durBytes) }
+func (a *Arena) getPts(minCap int) []Point         { return slabGet(a, &a.ptFree, minCap, ptBytes) }
+func (a *Arena) putPts(sl []Point)                 { slabPut(a, &a.ptFree, sl, ptBytes) }
+func (a *Arena) getU64(minCap int) []uint64        { return slabGet(a, &a.u64Free, minCap, u64Bytes) }
+func (a *Arena) putU64(sl []uint64)                { slabPut(a, &a.u64Free, sl, u64Bytes) }
+
+// Sample checks an empty sample out of the arena with the given capacity
+// hint. It is invalidated by the next Reset.
+func (a *Arena) Sample(capacity int) *Sample {
+	var s *Sample
+	if k := len(a.freeSamples); k > 0 {
+		s = a.freeSamples[k-1]
+		a.freeSamples[k-1] = nil
+		a.freeSamples = a.freeSamples[:k-1]
+	} else {
+		s = &Sample{}
+	}
+	s.a = a
+	s.gen = a.gen
+	s.values = a.getDur(capacity)
+	s.sorted = nil
+	s.sortedN = 0
+	a.samples = append(a.samples, s)
+	return s
+}
+
+// LevelIntegrator checks an integrator (level 0 at time 0) out of the
+// arena. It is invalidated by the next Reset.
+func (a *Arena) LevelIntegrator() *LevelIntegrator {
+	var li *LevelIntegrator
+	if k := len(a.freeLevels); k > 0 {
+		li = a.freeLevels[k-1]
+		a.freeLevels[k-1] = nil
+		a.freeLevels = a.freeLevels[:k-1]
+	} else {
+		li = &LevelIntegrator{}
+	}
+	li.a = a
+	li.gen = a.gen
+	li.transitions = a.getPts(0)
+	li.level = 0
+	li.lastChange = 0
+	li.integral = 0
+	a.levels = append(a.levels, li)
+	return li
+}
+
+// TimeSeries checks an empty named series out of the arena. It is
+// invalidated by the next Reset.
+func (a *Arena) TimeSeries(name string) *TimeSeries {
+	var ts *TimeSeries
+	if k := len(a.freeSeries); k > 0 {
+		ts = a.freeSeries[k-1]
+		a.freeSeries[k-1] = nil
+		a.freeSeries = a.freeSeries[:k-1]
+	} else {
+		ts = &TimeSeries{}
+	}
+	ts.a = a
+	ts.gen = a.gen
+	ts.Name = name
+	ts.Points = a.getPts(0)
+	a.series = append(a.series, ts)
+	return ts
+}
+
+// Histogram checks a log-spaced histogram out of the arena, validating
+// like NewHistogram. It is invalidated by the next Reset.
+func (a *Arena) Histogram(base time.Duration, growth float64, buckets int) (*Histogram, error) {
+	if base <= 0 {
+		return nil, fmt.Errorf("stats: histogram base must be positive, got %v", base)
+	}
+	if growth <= 1 {
+		return nil, fmt.Errorf("stats: histogram growth must exceed 1, got %v", growth)
+	}
+	if buckets <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bucket, got %d", buckets)
+	}
+	var h *Histogram
+	if k := len(a.freeHists); k > 0 {
+		h = a.freeHists[k-1]
+		a.freeHists[k-1] = nil
+		a.freeHists = a.freeHists[:k-1]
+	} else {
+		h = &Histogram{}
+	}
+	counts := a.getU64(buckets)[:buckets]
+	clear(counts)
+	h.base = base.Seconds()
+	h.growth = growth
+	h.counts = counts
+	h.under = 0
+	h.total = 0
+	h.sumSecs = 0
+	a.hists = append(a.hists, h)
+	return h, nil
+}
+
+// LatencyHistogram checks out a histogram with the standard latency
+// tuning (see NewLatencyHistogram).
+func (a *Arena) LatencyHistogram() *Histogram {
+	h, err := a.Histogram(100*time.Microsecond, 1.1, 150)
+	if err != nil {
+		// The fixed arguments above are valid; reaching here is a bug.
+		panic(err)
+	}
+	return h
+}
+
+// DurationSlab checks out a zeroed []time.Duration of length n (its
+// capacity may be larger), reclaimed at the next Reset. It backs the
+// telemetry tracer's per-request duration records, so the sim and trace
+// paths draw from one allocator.
+func (a *Arena) DurationSlab(n int) []time.Duration {
+	sl := a.getDur(n)[:n]
+	clear(sl)
+	a.slabs = append(a.slabs, sl)
+	return sl
+}
+
+// sortScratch returns the arena's shared sort scratch buffer with room
+// for at least n elements, growing it through the slab classes on demand.
+func (a *Arena) sortScratch(n int) []time.Duration {
+	if cap(a.scratch) < n {
+		a.putDur(a.scratch)
+		a.scratch = a.getDur(n)
+	}
+	return a.scratch[:cap(a.scratch)]
+}
+
+// Reset reclaims every slab into the class free lists and recycles the
+// object shells. All objects checked out since the previous Reset are
+// invalidated: their storage is gone, and their next recording panics.
+// The arena keeps its storage, so the following run's checkouts are warm.
+func (a *Arena) Reset() {
+	a.gen++
+	a.resets++
+	for i, s := range a.samples {
+		a.putDur(s.values)
+		a.putDur(s.sorted)
+		s.values = nil
+		s.sorted = nil
+		s.sortedN = 0
+		a.samples[i] = nil
+		a.freeSamples = append(a.freeSamples, s)
+	}
+	a.samples = a.samples[:0]
+	for i, li := range a.levels {
+		a.putPts(li.transitions)
+		li.transitions = nil
+		li.level = 0
+		li.lastChange = 0
+		li.integral = 0
+		a.levels[i] = nil
+		a.freeLevels = append(a.freeLevels, li)
+	}
+	a.levels = a.levels[:0]
+	for i, ts := range a.series {
+		a.putPts(ts.Points)
+		ts.Points = nil
+		ts.Name = ""
+		a.series[i] = nil
+		a.freeSeries = append(a.freeSeries, ts)
+	}
+	a.series = a.series[:0]
+	for i, h := range a.hists {
+		a.putU64(h.counts)
+		h.counts = nil
+		h.under = 0
+		h.total = 0
+		h.sumSecs = 0
+		a.hists[i] = nil
+		a.freeHists = append(a.freeHists, h)
+	}
+	a.hists = a.hists[:0]
+	for i, sl := range a.slabs {
+		a.putDur(sl)
+		a.slabs[i] = nil
+	}
+	a.slabs = a.slabs[:0]
+	a.putDur(a.scratch)
+	a.scratch = nil
+}
+
+// growValues moves s.values to a slab with room for at least need
+// elements, preserving contents. Arena-backed samples only.
+func (s *Sample) growValues(need int) {
+	s.a.check(s.gen)
+	nw := s.a.getDur(need)
+	nw = nw[:len(s.values)]
+	copy(nw, s.values)
+	s.a.putDur(s.values)
+	s.values = nw
+}
+
+// growTransitions moves li.transitions to a slab with room for at least
+// need elements, preserving contents. Arena-backed integrators only.
+func (li *LevelIntegrator) growTransitions(need int) {
+	li.a.check(li.gen)
+	nw := li.a.getPts(need)
+	nw = nw[:len(li.transitions)]
+	copy(nw, li.transitions)
+	li.a.putPts(li.transitions)
+	li.transitions = nw
+}
+
+// growPoints moves ts.Points to a slab with room for at least need
+// elements, preserving contents. Arena-backed series only.
+func (ts *TimeSeries) growPoints(need int) {
+	ts.a.check(ts.gen)
+	nw := ts.a.getPts(need)
+	nw = nw[:len(ts.Points)]
+	copy(nw, ts.Points)
+	ts.a.putPts(ts.Points)
+	ts.Points = nw
+}
+
+// NewSampleIn checks a sample out of a, or heap-allocates one when a is
+// nil, so call sites thread an optional arena in one line.
+func NewSampleIn(a *Arena, capacity int) *Sample {
+	if a == nil {
+		return NewSample(capacity)
+	}
+	return a.Sample(capacity)
+}
+
+// NewLevelIntegratorIn checks an integrator out of a, or heap-allocates
+// one when a is nil.
+func NewLevelIntegratorIn(a *Arena) *LevelIntegrator {
+	if a == nil {
+		return NewLevelIntegrator()
+	}
+	return a.LevelIntegrator()
+}
+
+// NewTimeSeriesIn checks a series out of a, or heap-allocates one when a
+// is nil.
+func NewTimeSeriesIn(a *Arena, name string) *TimeSeries {
+	if a == nil {
+		return NewTimeSeries(name)
+	}
+	return a.TimeSeries(name)
+}
+
+// arenaPool is the process-wide free list of warm arenas shared by
+// benchmark iterations and sweep workers. Slab contents never influence
+// results (checkouts are zero-length or zeroed), so sharing across
+// figure invocations is safe; it only keeps storage warm.
+var arenaPool struct {
+	mu   sync.Mutex
+	free []*Arena
+}
+
+// GetArena checks a warm arena out of the process-wide pool, or builds a
+// fresh one. Pair with PutArena.
+func GetArena() *Arena {
+	arenaPool.mu.Lock()
+	if k := len(arenaPool.free); k > 0 {
+		a := arenaPool.free[k-1]
+		arenaPool.free[k-1] = nil
+		arenaPool.free = arenaPool.free[:k-1]
+		arenaPool.mu.Unlock()
+		return a
+	}
+	arenaPool.mu.Unlock()
+	return NewArena()
+}
+
+// PutArena resets a and returns it to the process-wide pool. The caller
+// must hold no live handles into it.
+func PutArena(a *Arena) {
+	if a == nil {
+		return
+	}
+	a.Reset()
+	arenaPool.mu.Lock()
+	arenaPool.free = append(arenaPool.free, a)
+	arenaPool.mu.Unlock()
+}

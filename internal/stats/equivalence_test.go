@@ -1,0 +1,287 @@
+package stats
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+	"time"
+
+	"memca/internal/sweep"
+)
+
+// naiveQuantile is the reference implementation the arena-backed kernels
+// are checked against: copy, comparison-sort, index with the same linear
+// interpolation as Sample.Quantile — but sharing none of the production
+// sort or slab code.
+func naiveQuantile(values []time.Duration, q float64) time.Duration {
+	if len(values) == 0 {
+		return 0
+	}
+	v := make([]time.Duration, len(values))
+	copy(v, values)
+	slices.Sort(v)
+	if q <= 0 {
+		return v[0]
+	}
+	if q >= 1 {
+		return v[len(v)-1]
+	}
+	pos := q * float64(len(v)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return v[lo]
+	}
+	frac := pos - float64(lo)
+	return v[lo] + time.Duration(frac*float64(v[hi]-v[lo]))
+}
+
+func naiveMean(values []time.Duration) time.Duration {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += float64(v)
+	}
+	return time.Duration(sum / float64(len(values)))
+}
+
+// randomDurations draws n durations spanning the magnitudes tail
+// amplification produces — sub-millisecond service times up to multi-second
+// stalls — plus the hostile cases: zeros, duplicates, negatives, and
+// near-extreme values that stress the radix sort's sign handling.
+func randomDurations(rng *rand.Rand, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		switch rng.Intn(10) {
+		case 0:
+			out[i] = 0
+		case 1:
+			out[i] = time.Duration(rng.Int63n(1000)) // duplicate-heavy
+		case 2:
+			out[i] = -time.Duration(rng.Int63n(int64(time.Second)))
+		case 3:
+			out[i] = time.Duration(math.MaxInt64 - rng.Int63n(1<<20))
+		case 4:
+			out[i] = time.Duration(math.MinInt64 + rng.Int63n(1<<20))
+		default:
+			out[i] = time.Duration(rng.Int63n(int64(10 * time.Second)))
+		}
+	}
+	return out
+}
+
+var quantileGrid = []float64{0, 0.5, 0.9, 0.99, 0.999, 1}
+
+// checkSampleMatchesReference asserts that a sample loaded with values
+// answers exactly like the naive reference, bit for bit.
+func checkSampleMatchesReference(t *testing.T, s *Sample, values []time.Duration) {
+	t.Helper()
+	for _, v := range values {
+		s.Add(v)
+	}
+	for _, q := range quantileGrid {
+		if got, want := s.Quantile(q), naiveQuantile(values, q); got != want {
+			t.Fatalf("n=%d q=%v: got %d, reference %d", len(values), q, got, want)
+		}
+	}
+	if got, want := s.Mean(), naiveMean(values); got != want {
+		t.Fatalf("n=%d mean: got %d, reference %d", len(values), got, want)
+	}
+	var wantMax, wantMin time.Duration
+	if len(values) > 0 {
+		wantMax = slices.Max(values)
+		wantMin = slices.Min(values)
+	}
+	if got := s.Max(); got != wantMax {
+		t.Fatalf("n=%d max: got %d, reference %d", len(values), got, wantMax)
+	}
+	if got := s.Min(); got != wantMin {
+		t.Fatalf("n=%d min: got %d, reference %d", len(values), got, wantMin)
+	}
+}
+
+// TestArenaSampleMatchesNaiveReference is the tentpole equivalence
+// property: arena-backed and heap-backed samples agree bit-identically
+// with an independent sort-and-index reference across the quantile grid
+// and the length edge cases (empty, singleton, pair, odd, even, and a
+// stream large enough to take the radix path several slab classes up).
+func TestArenaSampleMatchesNaiveReference(t *testing.T) {
+	const baseSeed = 7
+	lengths := []int{0, 1, 2, 101, 1000, 100000}
+	a := NewArena()
+	for i, n := range lengths {
+		rng := rand.New(rand.NewSource(sweep.DeriveSeed(baseSeed, i)))
+		values := randomDurations(rng, n)
+		checkSampleMatchesReference(t, a.Sample(16), values)
+		checkSampleMatchesReference(t, NewSample(16), values)
+		a.Reset()
+	}
+}
+
+// TestArenaSampleReuseAfterReset recycles one arena across generations and
+// checks that recycled samples answer from their own observations only: no
+// slab aliasing between the samples of one generation, and nothing
+// surviving from the previous generation.
+func TestArenaSampleReuseAfterReset(t *testing.T) {
+	const baseSeed = 11
+	a := NewArena()
+	for gen := 0; gen < 5; gen++ {
+		rngA := rand.New(rand.NewSource(sweep.DeriveSeed(baseSeed, 2*gen)))
+		rngB := rand.New(rand.NewSource(sweep.DeriveSeed(baseSeed, 2*gen+1)))
+		valuesA := randomDurations(rngA, 5000+gen)
+		valuesB := randomDurations(rngB, 300)
+
+		sa, sb := a.Sample(64), a.Sample(64)
+		for _, v := range valuesA {
+			sa.Add(v)
+		}
+		for _, v := range valuesB {
+			sb.Add(v)
+		}
+		// Interleave queries so both samples' sorted slabs are live at once.
+		for _, q := range quantileGrid {
+			if got, want := sa.Quantile(q), naiveQuantile(valuesA, q); got != want {
+				t.Fatalf("gen %d sample A q=%v: got %d, want %d", gen, q, got, want)
+			}
+			if got, want := sb.Quantile(q), naiveQuantile(valuesB, q); got != want {
+				t.Fatalf("gen %d sample B q=%v: got %d, want %d", gen, q, got, want)
+			}
+		}
+		if !slices.Equal(sa.Values(), valuesA) || !slices.Equal(sb.Values(), valuesB) {
+			t.Fatalf("gen %d: recycled samples do not hold their own observations", gen)
+		}
+		a.Reset()
+	}
+	if st := a.Stats(); st.Live != 0 || st.Resets != 5 {
+		t.Fatalf("after reuse loop: Live=%d Resets=%d, want 0 and 5", st.Live, st.Resets)
+	}
+}
+
+// TestArenaStaleHandlePanics pins the ownership rule: recording into a
+// sample from a previous arena generation must panic, not silently alias a
+// recycled slab.
+func TestArenaStaleHandlePanics(t *testing.T) {
+	a := NewArena()
+	s := a.Sample(4)
+	s.Add(time.Millisecond)
+	a.Reset()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add on a stale arena-backed sample did not panic")
+		}
+	}()
+	s.Add(time.Millisecond)
+}
+
+// TestSortDurationsMatchesSlicesSort checks the radix sort against the
+// standard library across adversarial shapes: random with negatives and
+// extremes, all-equal (every pass skipped), already sorted, reversed, and
+// lengths straddling the radixMinLen fallback.
+func TestSortDurationsMatchesSlicesSort(t *testing.T) {
+	const baseSeed = 23
+	lengths := []int{0, 1, 2, radixMinLen - 1, radixMinLen, radixMinLen + 1, 1000, 65536}
+	scratch := make([]time.Duration, 65536)
+	for i, n := range lengths {
+		rng := rand.New(rand.NewSource(sweep.DeriveSeed(baseSeed, i)))
+		cases := [][]time.Duration{randomDurations(rng, n)}
+		if n > 0 {
+			constant := make([]time.Duration, n)
+			for j := range constant {
+				constant[j] = -42 * time.Millisecond
+			}
+			sorted := randomDurations(rng, n)
+			slices.Sort(sorted)
+			reversed := slices.Clone(sorted)
+			slices.Reverse(reversed)
+			cases = append(cases, constant, sorted, reversed)
+		}
+		for ci, values := range cases {
+			want := slices.Clone(values)
+			slices.Sort(want)
+
+			got := slices.Clone(values)
+			sortDurations(got, scratch)
+			if !slices.Equal(got, want) {
+				t.Fatalf("n=%d case=%d: radix path diverges from slices.Sort", n, ci)
+			}
+			got = slices.Clone(values)
+			sortDurations(got, nil) // comparison fallback
+			if !slices.Equal(got, want) {
+				t.Fatalf("n=%d case=%d: fallback path diverges from slices.Sort", n, ci)
+			}
+		}
+	}
+}
+
+// TestSampleValuesInsertionOrderAfterQueries is the regression test for
+// the Values contract used by the CSV writers: query the sample (which
+// sorts internally), then export — the export must still be in insertion
+// order, with SortedValues as the explicit ascending accessor, and neither
+// returned slice may alias sample-internal storage.
+func TestSampleValuesInsertionOrderAfterQueries(t *testing.T) {
+	inserted := []time.Duration{
+		5 * time.Second, time.Millisecond, 3 * time.Second,
+		-time.Microsecond, 4 * time.Second, time.Millisecond,
+	}
+	a := NewArena()
+	defer a.Reset()
+	for name, s := range map[string]*Sample{"heap": NewSample(0), "arena": a.Sample(0)} {
+		for _, v := range inserted {
+			s.Add(v)
+		}
+		// The writers query percentiles first, then export raw values.
+		_ = s.Quantile(0.99)
+		_ = s.Summarize()
+		if got := s.Values(); !slices.Equal(got, inserted) {
+			t.Fatalf("%s: Values after queries = %v, want insertion order %v", name, got, inserted)
+		}
+		wantSorted := slices.Clone(inserted)
+		slices.Sort(wantSorted)
+		if got := s.SortedValues(); !slices.Equal(got, wantSorted) {
+			t.Fatalf("%s: SortedValues = %v, want %v", name, got, wantSorted)
+		}
+		// Both accessors return copies: mutating them must not corrupt the
+		// sample.
+		s.Values()[0] = 0
+		s.SortedValues()[0] = 0
+		if got := s.Values(); !slices.Equal(got, inserted) {
+			t.Fatalf("%s: Values aliases sample storage", name)
+		}
+	}
+}
+
+// TestArenaWorkerCountEquivalence runs the same arena-backed quantile jobs
+// through sweep.RunState at workers 1, 4, and 8 and demands identical
+// results — the per-worker arena contract of the figure drivers in
+// miniature.
+func TestArenaWorkerCountEquivalence(t *testing.T) {
+	const jobs = 32
+	run := func(workers int) []time.Duration {
+		t.Helper()
+		res, err := sweep.RunState(t.Context(), sweep.Options{Workers: workers}, jobs,
+			GetArena, PutArena,
+			func(_ context.Context, a *Arena, i int) (time.Duration, error) {
+				defer a.Reset()
+				rng := rand.New(rand.NewSource(sweep.DeriveSeed(97, i)))
+				s := a.Sample(256)
+				for _, v := range randomDurations(rng, 2000+i) {
+					s.Add(v)
+				}
+				return s.Quantile(0.99), nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	base := run(1)
+	for _, w := range []int{4, 8} {
+		if got := run(w); !slices.Equal(got, base) {
+			t.Fatalf("workers=%d results diverge from serial", w)
+		}
+	}
+}

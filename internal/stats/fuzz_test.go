@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzHistogramAdd throws arbitrary durations — including zero, negative,
+// and math.MaxInt64 — at the standard latency histogram and checks its
+// invariants: no panic, bucket indices stay in [-1, buckets), the index is
+// monotone in the observation, and every observation is conserved as
+// either an underflow or a bucket count.
+func FuzzHistogramAdd(f *testing.F) {
+	f.Add(int64(0), int64(0))
+	f.Add(int64(-1), int64(1))
+	f.Add(int64(time.Microsecond), int64(100*time.Microsecond))
+	f.Add(int64(time.Second), int64(10*time.Second))
+	f.Add(int64(math.MaxInt64), int64(math.MinInt64))
+	f.Add(int64(99*time.Microsecond), int64(110*time.Microsecond)) // base boundary
+	f.Fuzz(func(t *testing.T, raw1, raw2 int64) {
+		v1, v2 := time.Duration(raw1), time.Duration(raw2)
+		h := NewLatencyHistogram()
+		i1, i2 := h.BucketIndex(v1), h.BucketIndex(v2)
+		for i, v := range map[int]time.Duration{i1: v1, i2: v2} {
+			if i < -1 || i >= h.Buckets() {
+				t.Fatalf("BucketIndex(%d) = %d, outside [-1, %d)", v, i, h.Buckets())
+			}
+		}
+		if v1 <= v2 && i1 > i2 {
+			t.Fatalf("bucket index not monotone: %d -> %d but %d -> %d", v1, i1, v2, i2)
+		}
+		h.Add(v1)
+		h.Add(v2)
+		var inBuckets uint64
+		for i := 0; i < h.Buckets(); i++ {
+			inBuckets += h.BucketCount(i)
+		}
+		if h.Under()+inBuckets != h.Count() {
+			t.Fatalf("conservation violated: under %d + buckets %d != total %d",
+				h.Under(), inBuckets, h.Count())
+		}
+		if h.Count() != 2 {
+			t.Fatalf("total = %d after 2 adds", h.Count())
+		}
+		// The arena-backed histogram shares the Add/BucketIndex kernels; its
+		// counts must agree observation for observation.
+		a := NewArena()
+		defer a.Reset()
+		ah := a.LatencyHistogram()
+		ah.Add(v1)
+		ah.Add(v2)
+		if ah.Under() != h.Under() || ah.Count() != h.Count() {
+			t.Fatalf("arena histogram diverges: under %d/%d total %d/%d",
+				ah.Under(), h.Under(), ah.Count(), h.Count())
+		}
+	})
+}
+
+// FuzzSampleQuantile feeds arbitrary observation triples to heap- and
+// arena-backed samples and checks the quantile kernel's invariants: no
+// panic anywhere in [min, max] queries, Quantile(0)/Quantile(1) hit the
+// extremes, results are monotone in q, interpolated values stay within
+// [min, max], and both backings answer bit-identically.
+func FuzzSampleQuantile(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(0), 0.5)
+	f.Add(int64(-5), int64(3), int64(3), 0.25)
+	f.Add(int64(time.Millisecond), int64(time.Second), int64(time.Minute), 0.99)
+	f.Add(int64(math.MaxInt64), int64(math.MinInt64), int64(0), 0.999)
+	f.Add(int64(1), int64(2), int64(3), -1.5) // out-of-range q clamps
+	f.Add(int64(7), int64(7), int64(7), 2.0)
+	f.Fuzz(func(t *testing.T, raw1, raw2, raw3 int64, q float64) {
+		values := []time.Duration{time.Duration(raw1), time.Duration(raw2), time.Duration(raw3)}
+		s := NewSample(0)
+		a := NewArena()
+		defer a.Reset()
+		as := a.Sample(0)
+		for _, v := range values {
+			s.Add(v)
+			as.Add(v)
+		}
+		if math.IsNaN(q) {
+			q = 0.5
+		}
+		got := s.Quantile(q)
+		if ag := as.Quantile(q); ag != got {
+			t.Fatalf("arena quantile %d != heap quantile %d at q=%v", ag, got, q)
+		}
+		min, max := s.Min(), s.Max()
+		if s.Quantile(0) != min || s.Quantile(1) != max {
+			t.Fatalf("Quantile(0)=%d want %d; Quantile(1)=%d want %d",
+				s.Quantile(0), min, s.Quantile(1), max)
+		}
+		// Interpolation computes v[lo] + frac*(v[hi]-v[lo]); when the span
+		// max-min overflows int64 (only possible with negative durations of
+		// cosmic magnitude, which real response times never produce), the
+		// ordering invariants don't hold — the contract there is just
+		// "no panic", checked by getting this far.
+		if uint64(max)-uint64(min) > uint64(math.MaxInt64) {
+			return
+		}
+		if got < min || got > max {
+			t.Fatalf("Quantile(%v) = %d outside [%d, %d]", q, got, min, max)
+		}
+		grid := []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1}
+		prev := s.Quantile(0)
+		for _, g := range grid[1:] {
+			cur := s.Quantile(g)
+			if cur < prev {
+				t.Fatalf("quantile not monotone in q: q=%v gives %d after %d", g, cur, prev)
+			}
+			prev = cur
+		}
+	})
+}

@@ -51,20 +51,46 @@ func NewLatencyHistogram() *Histogram {
 func (h *Histogram) Add(v time.Duration) {
 	h.total++
 	h.sumSecs += v.Seconds()
-	s := v.Seconds()
-	if s < h.base {
+	i := h.BucketIndex(v)
+	if i < 0 {
 		h.under++
 		return
+	}
+	h.counts[i]++
+}
+
+// BucketIndex returns the bucket an observation of v falls into, or -1
+// when v is below the histogram's base (the underflow counter).
+//
+//memca:hotpath
+func (h *Histogram) BucketIndex(v time.Duration) int {
+	s := v.Seconds()
+	if s < h.base {
+		return -1
 	}
 	i := int(math.Log(s/h.base) / math.Log(h.growth))
 	if i >= len(h.counts) {
 		i = len(h.counts) - 1
 	}
-	h.counts[i]++
+	if i < 0 {
+		// Guard the float path: s >= base implies log >= 0, but keep the
+		// clamp explicit for rounding at the boundary.
+		i = 0
+	}
+	return i
 }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.total }
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// BucketCount returns the number of observations recorded in bucket i.
+func (h *Histogram) BucketCount(i int) uint64 { return h.counts[i] }
+
+// Under returns the number of observations below the histogram's base.
+func (h *Histogram) Under() uint64 { return h.under }
 
 // Mean returns the exact mean of all observations (tracked outside the
 // buckets, so it has no quantization error).

@@ -14,9 +14,12 @@ type LevelIntegrator struct {
 	level       float64
 	lastChange  time.Duration
 	integral    float64 // level-seconds
+
+	a   *Arena
+	gen uint64
 }
 
-// NewLevelIntegrator returns an integrator at level 0 at time 0.
+// NewLevelIntegrator returns a heap-backed integrator at level 0 at time 0.
 func NewLevelIntegrator() *LevelIntegrator {
 	return &LevelIntegrator{}
 }
@@ -32,6 +35,9 @@ func (li *LevelIntegrator) Set(t time.Duration, level float64) {
 	li.integral += li.level * (t - li.lastChange).Seconds()
 	li.level = level
 	li.lastChange = t
+	if li.a != nil && len(li.transitions) == cap(li.transitions) {
+		li.growTransitions(len(li.transitions) + 1)
+	}
 	li.transitions = append(li.transitions, Point{T: t, V: level})
 }
 

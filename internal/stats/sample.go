@@ -12,13 +12,26 @@ import (
 )
 
 // Sample collects duration observations and answers exact quantile queries.
-// It sorts lazily and caches the sorted order until the next Add.
+// Observations are kept in insertion order; queries sort lazily into a
+// separate scratch slab, which is reused (and only re-filled after new
+// Adds), so a query burst like Summarize sorts once.
+//
+// Samples come either from NewSample (heap-backed, grows via append) or
+// from an Arena (slab-backed, grows by trading up through the arena's size
+// classes and is invalidated by Arena.Reset).
 type Sample struct {
 	values []time.Duration
-	sorted bool
+	// sorted caches an ascending copy of values; it is valid iff
+	// sortedN == len(values).
+	sorted  []time.Duration
+	sortedN int
+
+	a   *Arena
+	gen uint64
 }
 
-// NewSample returns an empty sample with the given capacity hint.
+// NewSample returns an empty heap-backed sample with the given capacity
+// hint.
 func NewSample(capacity int) *Sample {
 	if capacity < 0 {
 		capacity = 0
@@ -30,28 +43,63 @@ func NewSample(capacity int) *Sample {
 //
 //memca:hotpath
 func (s *Sample) Add(v time.Duration) {
+	if s.a != nil && len(s.values) == cap(s.values) {
+		s.growValues(len(s.values) + 1)
+	}
 	s.values = append(s.values, v)
-	s.sorted = false
 }
 
 // Len returns the number of observations.
 func (s *Sample) Len() int { return len(s.values) }
 
-// Values returns a copy of the raw observations in insertion order when the
-// sample has never been sorted, or in sorted order afterwards. Callers that
-// need a specific order should not rely on it; the copy is for export.
+// Reset discards all observations in place, keeping the backing storage
+// for reuse (e.g. after a warm-up phase).
+func (s *Sample) Reset() {
+	s.values = s.values[:0]
+	s.sortedN = 0
+}
+
+// Values returns a copy of the raw observations in insertion order,
+// regardless of any quantile queries in between. Use SortedValues for
+// ascending order.
 func (s *Sample) Values() []time.Duration {
 	cp := make([]time.Duration, len(s.values))
 	copy(cp, s.values)
 	return cp
 }
 
-func (s *Sample) sort() {
-	if s.sorted {
-		return
+// SortedValues returns a copy of the observations in ascending order.
+func (s *Sample) SortedValues() []time.Duration {
+	cp := make([]time.Duration, len(s.values))
+	copy(cp, s.sortedView())
+	return cp
+}
+
+// sortedView returns the observations in ascending order, re-sorting the
+// scratch slab only when observations arrived since the last query.
+func (s *Sample) sortedView() []time.Duration {
+	n := len(s.values)
+	if s.sortedN == n {
+		return s.sorted[:n]
 	}
-	sort.Slice(s.values, func(i, j int) bool { return s.values[i] < s.values[j] })
-	s.sorted = true
+	if cap(s.sorted) < n {
+		if s.a != nil {
+			s.a.check(s.gen)
+			s.a.putDur(s.sorted)
+			s.sorted = s.a.getDur(n)
+		} else {
+			s.sorted = make([]time.Duration, 0, cap(s.values))
+		}
+	}
+	s.sorted = s.sorted[:n]
+	copy(s.sorted, s.values)
+	if s.a != nil {
+		sortDurations(s.sorted, s.a.sortScratch(n))
+	} else {
+		sortDurations(s.sorted, nil)
+	}
+	s.sortedN = n
+	return s.sorted
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation
@@ -60,27 +108,28 @@ func (s *Sample) Quantile(q float64) time.Duration {
 	if len(s.values) == 0 {
 		return 0
 	}
-	s.sort()
+	v := s.sortedView()
 	if q <= 0 {
-		return s.values[0]
+		return v[0]
 	}
 	if q >= 1 {
-		return s.values[len(s.values)-1]
+		return v[len(v)-1]
 	}
-	pos := q * float64(len(s.values)-1)
+	pos := q * float64(len(v)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return s.values[lo]
+		return v[lo]
 	}
 	frac := pos - float64(lo)
-	return s.values[lo] + time.Duration(frac*float64(s.values[hi]-s.values[lo]))
+	return v[lo] + time.Duration(frac*float64(v[hi]-v[lo]))
 }
 
 // Percentile returns the p-th percentile, p in [0, 100].
 func (s *Sample) Percentile(p float64) time.Duration { return s.Quantile(p / 100) }
 
-// Mean returns the arithmetic mean, or 0 for an empty sample.
+// Mean returns the arithmetic mean, or 0 for an empty sample. The sum
+// runs in insertion order.
 func (s *Sample) Mean() time.Duration {
 	if len(s.values) == 0 {
 		return 0
@@ -97,8 +146,8 @@ func (s *Sample) Max() time.Duration {
 	if len(s.values) == 0 {
 		return 0
 	}
-	s.sort()
-	return s.values[len(s.values)-1]
+	v := s.sortedView()
+	return v[len(v)-1]
 }
 
 // Min returns the smallest observation, or 0 for an empty sample.
@@ -106,16 +155,15 @@ func (s *Sample) Min() time.Duration {
 	if len(s.values) == 0 {
 		return 0
 	}
-	s.sort()
-	return s.values[0]
+	return s.sortedView()[0]
 }
 
 // CountAbove returns how many observations strictly exceed threshold.
 func (s *Sample) CountAbove(threshold time.Duration) int {
-	s.sort()
+	v := s.sortedView()
 	// first index with value > threshold
-	idx := sort.Search(len(s.values), func(i int) bool { return s.values[i] > threshold })
-	return len(s.values) - idx
+	idx := sort.Search(len(v), func(i int) bool { return v[i] > threshold })
+	return len(v) - idx
 }
 
 // FractionAbove returns the fraction of observations strictly above

@@ -1,9 +1,10 @@
 package stats
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -19,9 +20,12 @@ type Point struct {
 type TimeSeries struct {
 	Name   string  `json:"name"`
 	Points []Point `json:"points"`
+
+	a   *Arena
+	gen uint64
 }
 
-// NewTimeSeries returns an empty named series.
+// NewTimeSeries returns an empty heap-backed named series.
 func NewTimeSeries(name string) *TimeSeries {
 	return &TimeSeries{Name: name}
 }
@@ -29,7 +33,16 @@ func NewTimeSeries(name string) *TimeSeries {
 // Add appends an observation. Out-of-order appends are tolerated; Sort must
 // be called before window queries if order is not guaranteed by the caller.
 func (ts *TimeSeries) Add(t time.Duration, v float64) {
+	if ts.a != nil && len(ts.Points) == cap(ts.Points) {
+		ts.growPoints(len(ts.Points) + 1)
+	}
 	ts.Points = append(ts.Points, Point{T: t, V: v})
+}
+
+// Reset discards all points in place, keeping the backing storage and the
+// name for reuse.
+func (ts *TimeSeries) Reset() {
+	ts.Points = ts.Points[:0]
 }
 
 // Len returns the number of points.
@@ -38,7 +51,7 @@ func (ts *TimeSeries) Len() int { return len(ts.Points) }
 // Sort orders points by timestamp (stable, so equal timestamps keep
 // insertion order).
 func (ts *TimeSeries) Sort() {
-	sort.SliceStable(ts.Points, func(i, j int) bool { return ts.Points[i].T < ts.Points[j].T })
+	slices.SortStableFunc(ts.Points, func(a, b Point) int { return cmp.Compare(a.T, b.T) })
 }
 
 // Window returns the points with T in [from, to).

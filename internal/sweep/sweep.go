@@ -84,6 +84,30 @@ func Run[T any](ctx context.Context, opts Options, n int, job Job[T]) ([]T, erro
 	if job == nil {
 		return nil, fmt.Errorf("sweep: job must not be nil")
 	}
+	return RunState(ctx, opts, n, nil, nil,
+		func(ctx context.Context, _ struct{}, i int) (T, error) { return job(ctx, i) })
+}
+
+// StateJob computes the index-th result of a sweep using per-worker
+// scratch state. The same purity rules as Job apply, with one relaxation:
+// state is owned exclusively by the calling worker for the duration of the
+// call, so jobs may mutate it freely — but the result must not depend on
+// what previous jobs left inside (reset it, or treat it as storage whose
+// contents never reach the output). That is exactly the contract of a
+// stats.Arena reset between jobs.
+type StateJob[T, S any] func(ctx context.Context, state S, index int) (T, error)
+
+// RunState is Run with per-worker scratch state: each worker calls acquire
+// once when it starts, passes the state to every job it executes, and
+// calls release when it exits (on success, failure, and cancellation
+// alike). It exists so expensive reusable resources — a stats.Arena, a
+// scratch buffer pool — are paid for once per worker, not once per job,
+// while keeping the job functions pure in everything that reaches the
+// results. Either of acquire and release may be nil.
+func RunState[T, S any](ctx context.Context, opts Options, n int, acquire func() S, release func(S), job StateJob[T, S]) ([]T, error) {
+	if job == nil {
+		return nil, fmt.Errorf("sweep: job must not be nil")
+	}
 	if n < 0 {
 		return nil, fmt.Errorf("sweep: job count must be non-negative, got %d", n)
 	}
@@ -141,11 +165,18 @@ func Run[T any](ctx context.Context, opts Options, n int, job Job[T]) ([]T, erro
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var state S
+			if acquire != nil {
+				state = acquire()
+			}
+			if release != nil {
+				defer release(state)
+			}
 			for i := range indices {
 				if minFailed.Load() < int64(i) {
 					return
 				}
-				res, err := job(ctx, i)
+				res, err := job(ctx, state, i)
 				ran[i] = true
 				if err != nil {
 					errs[i] = err

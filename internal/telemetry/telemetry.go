@@ -21,6 +21,7 @@ import (
 
 	"memca/internal/queueing"
 	"memca/internal/sim"
+	"memca/internal/stats"
 	"memca/internal/sweep"
 )
 
@@ -104,6 +105,11 @@ type Config struct {
 	// Horizon bounds the timelines: they cover [base, base+Horizon] and
 	// traces closing beyond that (the post-run drain) are not booked.
 	Horizon time.Duration
+	// Arena, when non-nil, supplies the tracer's per-record duration slab
+	// from the run's shared stats arena, so the sim and trace paths draw
+	// from one allocator. The arena must outlive the tracer and must not
+	// be Reset while the tracer's attributions are still read.
+	Arena *stats.Arena
 }
 
 // Validate reports the first configuration error, or nil.
@@ -261,7 +267,11 @@ func New(engine *sim.Engine, cfg Config) (*Tracer, error) {
 	// Pre-allocate every sample record's per-tier arrays out of one
 	// backing slab so tail replacement and head overwrite never allocate.
 	nRecs := cfg.TailKeep + cfg.HeadKeep
-	t.backing = make([]time.Duration, nRecs*2*cfg.Tiers)
+	if cfg.Arena != nil {
+		t.backing = cfg.Arena.DurationSlab(nRecs * 2 * cfg.Tiers)
+	} else {
+		t.backing = make([]time.Duration, nRecs*2*cfg.Tiers)
+	}
 	t.tail = make([]Attribution, 0, cfg.TailKeep)
 	if cfg.HeadEvery > 0 {
 		t.head = make([]Attribution, 0, cfg.HeadKeep)

@@ -27,6 +27,11 @@ type GeneratorConfig struct {
 	// Trace, when non-nil, observes the client-side trace events the
 	// network cannot see: scheduled retransmissions and abandoned pages.
 	Trace TraceHook
+	// Arena, when non-nil, backs the client-side samples and the RT
+	// series, so repeated runs reuse slab storage. The caller owns the
+	// arena's lifecycle (same rules as queueing.Config.Arena). Nil keeps
+	// plain heap allocation.
+	Arena *stats.Arena
 }
 
 // TraceHook receives the client-side lifecycle events of a traced request
@@ -123,12 +128,12 @@ func NewGenerator(network *queueing.Network, cfg GeneratorConfig) (*Generator, e
 		engine:   network.Engine(),
 		network:  network,
 		cfg:      cfg,
-		clientRT: stats.NewSample(4096),
-		rtSeries: stats.NewTimeSeries("client-rt"),
+		clientRT: stats.NewSampleIn(cfg.Arena, 4096),
+		rtSeries: stats.NewTimeSeriesIn(cfg.Arena, "client-rt"),
 	}
 	g.perPage = make([]*stats.Sample, len(cfg.Profile.Pages))
 	for i := range g.perPage {
-		g.perPage[i] = stats.NewSample(256)
+		g.perPage[i] = stats.NewSampleIn(cfg.Arena, 256)
 	}
 	g.onComplete = func(req *queueing.Request) {
 		page := req.UserData.(int)
@@ -291,13 +296,17 @@ func (g *Generator) handleDrop(page int, req *queueing.Request) {
 		return
 	}
 	g.retrans++
-	var rec *genRetrans
-	if k := len(g.freeRetrans); k > 0 {
-		rec = g.freeRetrans[k-1]
-		g.freeRetrans = g.freeRetrans[:k-1]
-	} else {
-		rec = &genRetrans{}
+	if len(g.freeRetrans) == 0 {
+		// Refill in blocks: one allocation covers the next 64 pool
+		// misses during the cold-start ramp.
+		recs := make([]genRetrans, 64)
+		for i := range recs {
+			g.freeRetrans = append(g.freeRetrans, &recs[i])
+		}
 	}
+	k := len(g.freeRetrans)
+	rec := g.freeRetrans[k-1]
+	g.freeRetrans = g.freeRetrans[:k-1]
 	rec.page = page
 	rec.first = req.FirstAttempt
 	rec.attempt = next
@@ -332,6 +341,10 @@ func samplePMF(rng *rand.Rand, pmf []float64) int {
 	return len(pmf) - 1
 }
 
+// Profile returns the browsing model the generator was built with. The
+// Profile's slices are shared; callers must not modify them.
+func (g *Generator) Profile() Profile { return g.cfg.Profile }
+
 // ClientRT returns the aggregated client response-time sample (shared; do
 // not mutate).
 func (g *Generator) ClientRT() *stats.Sample { return g.clientRT }
@@ -348,14 +361,15 @@ func (g *Generator) PageRT(page int) (*stats.Sample, error) {
 // while RecordSeries(true)).
 func (g *Generator) RTSeries() *stats.TimeSeries { return g.rtSeries }
 
-// ResetMetrics discards accumulated samples, e.g. after a warm-up phase,
-// without disturbing the client population.
+// ResetMetrics discards accumulated samples in place, e.g. after a
+// warm-up phase, without disturbing the client population. Backing
+// storage is kept for reuse.
 func (g *Generator) ResetMetrics() {
-	g.clientRT = stats.NewSample(4096)
+	g.clientRT.Reset()
 	for i := range g.perPage {
-		g.perPage[i] = stats.NewSample(256)
+		g.perPage[i].Reset()
 	}
-	g.rtSeries = stats.NewTimeSeries("client-rt")
+	g.rtSeries.Reset()
 	g.requests, g.drops, g.retrans, g.failures = 0, 0, 0, 0
 }
 
