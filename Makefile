@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-budget test race equivalence fuzz bench bench-baseline bench-smoke figures quick-figures trace demo demo-smoke clean
+.PHONY: all build vet lint lint-budget test race equivalence fuzz bench bench-baseline bench-smoke figures quick-figures trace demo demo-smoke plan-smoke clean
 
 all: build vet lint test
 
@@ -90,6 +90,14 @@ quick-figures:
 # timelines into out/trace/.
 trace:
 	$(GO) run ./cmd/memca-trace -out out/trace
+
+# Capacity-planner smoke: solve the RUBBoS plan spec (forecast shaping)
+# and re-size an experiment config lifted through Config.Spec(), both on
+# the reduced -quick search space. Exercises the spec loader, the config
+# bridge, the solver, and both report formats end to end.
+plan-smoke:
+	$(GO) run ./cmd/memca-plan -quick -spec configs/plan-rubbos.json
+	$(GO) run ./cmd/memca-plan -quick -config configs/paper-default.json -json
 
 # Live end-to-end demo on real sockets.
 demo:

@@ -465,9 +465,15 @@ func BenchmarkP2Quantile(b *testing.B) {
 
 // BenchmarkBandwidthAllocation measures the host bandwidth allocator.
 func BenchmarkBandwidthAllocation(b *testing.B) {
-	cfg := memca.XeonE5_2603v3()
+	spec := memca.ProfileSpec{
+		Host:      memca.XeonE5_2603v3(),
+		VMs:       6,
+		Placement: memca.PlacementSamePackage,
+		Kind:      memca.AttackMemoryLock,
+		LockDuty:  1.0,
+	}
 	for i := 0; i < b.N; i++ {
-		if _, err := memca.ProfileBandwidth(cfg, 6, memca.PlacementSamePackage, memca.AttackMemoryLock, 1.0); err != nil {
+		if _, err := memca.Profile(spec); err != nil {
 			b.Fatal(err)
 		}
 	}

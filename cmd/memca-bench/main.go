@@ -30,7 +30,7 @@ func main() {
 
 func run() error {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2, 3, 6, 7, 8, 9, 10, 11, table1, ablations, defense, evasion, detectors, crowd, attribution, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2, 3, 6, 7, 8, 9, 10, 11, table1, ablations, defense, evasion, detectors, crowd, attribution, planner, all")
 		out      = flag.String("out", "out", "output directory for CSV artifacts")
 		quick    = flag.Bool("quick", false, "shorter horizons for a smoke run")
 		seed     = flag.Int64("seed", 1, "simulation seed")
@@ -58,8 +58,9 @@ func run() error {
 		"detectors":   runDetectors,
 		"crowd":       runFlashCrowd,
 		"attribution": runAttribution,
+		"planner":     runPlanner,
 	}
-	order := []string{"table1", "3", "6", "7", "2", "9", "10", "11", "8", "ablations", "defense", "evasion", "detectors", "crowd", "attribution"}
+	order := []string{"table1", "3", "6", "7", "2", "9", "10", "11", "8", "ablations", "defense", "evasion", "detectors", "crowd", "attribution", "planner"}
 
 	if *fig != "all" {
 		f, ok := targets[*fig]
@@ -103,6 +104,8 @@ func label(name string) string {
 		return "Flash-crowd contrast"
 	case "attribution":
 		return "Critical-path attribution"
+	case "planner":
+		return "Planner validation"
 	default:
 		return "Figure " + name
 	}
@@ -311,5 +314,16 @@ func runAttribution(opts figures.Options) error {
 	fmt.Printf("  baseline >=p99 tail: service share %.1f%%\n", res.BaselineServiceShare*100)
 	fmt.Printf("  monitoring blindness (50ms vs 1s peak): %.2fx attacked, %.2fx baseline\n",
 		res.AttackedBlindness, res.BaselineBlindness)
+	return nil
+}
+
+func runPlanner(opts figures.Options) error {
+	res, err := figures.FigPlanner(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %d cells x %d runs: sized OK %v (worst p99 %v), witnesses violate %v (best p99 %v)\n",
+		res.Cells, res.Runs/res.Cells, res.AllSizedOK, res.MaxSizedP99.Round(time.Millisecond),
+		res.AllSmallerViolate, res.MinSmallerP99.Round(time.Millisecond))
 	return nil
 }

@@ -1,0 +1,134 @@
+// Command memca-plan sizes an n-tier deployment against the MemCA threat
+// model: given tier templates, a traffic forecast, and an SLO, it searches
+// replica counts and thread-pool scales for the cheapest sizing that holds
+// the objective both attack-free and under the worst-case stealthy burst
+// train (analytical.PlanAttack as the adversary oracle), and reports the
+// verdict, the maximum sustainable load in each regime, and the minimality
+// witness (one bottleneck replica fewer fails).
+//
+// Inputs: a plan spec file (-spec, see internal/spec.PlanJSON), or an
+// experiment config (-config) whose topology and population are lifted
+// into a spec; with neither, the paper's RUBBoS defaults.
+//
+// Usage:
+//
+//	go run ./cmd/memca-plan                           # RUBBoS defaults
+//	go run ./cmd/memca-plan -spec configs/plan-rubbos.json
+//	go run ./cmd/memca-plan -config configs/paper-default.json -quick
+//	go run ./cmd/memca-plan -clients 2600 -think 1s -json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memca/internal/core"
+	"memca/internal/plan"
+	"memca/internal/spec"
+)
+
+func main() {
+	var (
+		specPath   = flag.String("spec", "", "plan spec file (system/traffic/slo JSON; missing sections default to RUBBoS)")
+		configPath = flag.String("config", "", "experiment config file; its topology and population seed the plan")
+		jsonOut    = flag.Bool("json", false, "emit the JSON report instead of text")
+		quick      = flag.Bool("quick", false, "shrink the search caps (4 replicas/tier, one adversary interval) for smoke runs")
+		clients    = flag.Int("clients", 0, "override the client population")
+		think      = flag.Duration("think", 0, "override the mean think time")
+		growth     = flag.Float64("growth", 0, "override the growth multiplier")
+		target     = flag.Duration("target", 0, "override the SLO target response time")
+		drop       = flag.Float64("drop", -1, "override the SLO max drop rate")
+		percentile = flag.Float64("percentile", 0, "override the SLO percentile")
+		out        = flag.String("o", "", "write the report to a file instead of stdout")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fatal(fmt.Errorf("unexpected arguments %v", flag.Args()))
+	}
+	if *specPath != "" && *configPath != "" {
+		fatal(fmt.Errorf("-spec and -config are mutually exclusive"))
+	}
+
+	sys, traffic, slo, err := loadInputs(*specPath, *configPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *clients > 0 {
+		traffic.Clients = *clients
+	}
+	if *think > 0 {
+		traffic.ThinkTime = *think
+	}
+	if *growth > 0 {
+		traffic.Growth = *growth
+	}
+	if *target > 0 {
+		slo.TargetRT = *target
+	}
+	if *drop >= 0 {
+		slo.MaxDropRate = *drop
+	}
+	if *percentile > 0 {
+		slo.Percentile = *percentile
+	}
+
+	req := plan.Request{System: sys, Traffic: traffic, SLO: slo}
+	if *quick {
+		req.Options = plan.Options{MaxReplicas: 4, ThreadScales: []int{1, 4}}
+		adv := plan.DefaultAdversary()
+		adv.Intervals = adv.Intervals[1:2] // the paper's I = 2 s only
+		req.Adversary = adv
+	}
+
+	res, err := plan.Solve(req)
+	if err != nil {
+		fatal(err)
+	}
+
+	var report []byte
+	if *jsonOut {
+		report, err = res.JSON(req)
+		if err != nil {
+			fatal(err)
+		}
+		report = append(report, '\n')
+	} else {
+		report = []byte(res.Render(req))
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, report, 0o644); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if _, err := os.Stdout.Write(report); err != nil {
+		fatal(err)
+	}
+}
+
+// loadInputs resolves the system/traffic/SLO triple from a plan spec
+// file, an experiment config, or the RUBBoS defaults.
+func loadInputs(specPath, configPath string) (spec.System, spec.Traffic, spec.SLO, error) {
+	switch {
+	case specPath != "":
+		return spec.LoadPlan(specPath)
+	case configPath != "":
+		cfg, err := core.LoadConfig(configPath)
+		if err != nil {
+			return spec.System{}, spec.Traffic{}, spec.SLO{}, err
+		}
+		sys, traffic, err := cfg.Spec()
+		if err != nil {
+			return spec.System{}, spec.Traffic{}, spec.SLO{}, err
+		}
+		return sys, traffic, spec.DefaultSLO(), nil
+	default:
+		return spec.RUBBoSSystem(), spec.RUBBoSTraffic(), spec.DefaultSLO(), nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "memca-plan:", err)
+	os.Exit(1)
+}

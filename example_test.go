@@ -64,6 +64,52 @@ func ExampleProfile() {
 	// per-VM bandwidth: 145 MB/s
 }
 
+// ExamplePlanSizing inverts the capacity question: instead of predicting
+// damage for a given system, find the cheapest RUBBoS sizing that holds
+// the SLO even under the worst stealthy burst train the analytical model
+// can construct against it.
+func ExamplePlanSizing() {
+	res, err := memca.PlanSizing(memca.PlanRequest{
+		System:  memca.RUBBoSSpec(),
+		Traffic: memca.RUBBoSTrafficSpec(),
+		SLO:     memca.DefaultSLO(),
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("replicas: %v, thread scale: x%d\n", res.Sizing.Replicas, res.Sizing.ThreadScale)
+	fmt.Printf("servers: %d\n", res.Sizing.Cost.Servers)
+	fmt.Printf("survives worst-case burst train: %v\n", res.Assessment.OKOn)
+	// Output:
+	// replicas: [1 1 1], thread scale: x4
+	// servers: 6
+	// survives worst-case burst train: true
+}
+
+// ExampleConfig_FromSpec builds a simulation config from the shared spec
+// vocabulary, so the planner, the simulator, and the live victim chain
+// all describe a system the same way.
+func ExampleConfig_FromSpec() {
+	sys, err := memca.RUBBoSSpec().WithReplicas([]int{2, 2, 3})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	cfg, err := memca.DefaultConfig().FromSpec(sys, memca.RUBBoSTrafficSpec())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, tier := range cfg.Tiers {
+		fmt.Printf("%s: %d threads, %d servers\n", tier.Name, tier.QueueLimit, tier.Servers)
+	}
+	// Output:
+	// apache: 200 threads, 4 servers
+	// tomcat: 120 threads, 4 servers
+	// mysql: 75 threads, 6 servers
+}
+
 // ExampleNewExperiment runs a miniature attacked experiment end to end.
 func ExampleNewExperiment() {
 	cfg := memca.DefaultConfig()

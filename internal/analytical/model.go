@@ -20,7 +20,10 @@ import (
 )
 
 // ErrInfeasible is returned when no attack parameters within the search
-// space meet the requested damage and stealth goals.
+// space meet the requested damage and stealth goals, and (wrapped with
+// the offending tier) when a model is overloaded before any attack: a
+// tier whose offered load already meets or exceeds its attack-free
+// capacity has no stable baseline for the equations to perturb.
 var ErrInfeasible = errors.New("analytical: no feasible attack parameters")
 
 // Tier holds the per-tier parameters of Table I.
@@ -91,6 +94,21 @@ func (m Model) Validate() error {
 
 // Bottleneck returns the back-most tier (tier n), the attack target.
 func (m Model) Bottleneck() Tier { return m.Tiers[len(m.Tiers)-1] }
+
+// CheckStability verifies every tier has attack-free headroom: the
+// traffic a tier sees stays strictly below its CapacityOFF. A tier at or
+// over capacity before any attack makes the model's fade-off equations
+// meaningless (its queue never drains), so Predict and PlanAttack refuse
+// such models with an error wrapping ErrInfeasible.
+func (m Model) CheckStability() error {
+	for i, t := range m.Tiers {
+		if seen := m.SeenRate(i); seen >= t.CapacityOFF {
+			return fmt.Errorf("analytical: tier %d (%s) offered load %v req/s >= C_OFF %v req/s before any attack: %w",
+				i+1, t.Name, seen, t.CapacityOFF, ErrInfeasible)
+		}
+	}
+	return nil
+}
 
 // SeenRate returns the total request rate tier i sees: the sum of arrival
 // rates of tier i and every deeper tier.
@@ -182,6 +200,9 @@ func (m Model) Predict(a Attack) (Prediction, error) {
 	if err := a.Validate(); err != nil {
 		return Prediction{}, err
 	}
+	if err := m.CheckStability(); err != nil {
+		return Prediction{}, err
+	}
 	n := len(m.Tiers)
 	bn := m.Bottleneck()
 	p := Prediction{
@@ -219,16 +240,11 @@ func (m Model) Predict(a Attack) (Prediction, error) {
 	p.Impact = float64(p.DamagePeriod) / float64(a.I)
 
 	// Fade-off: drain of the bottleneck queue (Eq 9) and the
-	// millibottleneck period (Eq 10). A bottleneck with no headroom
-	// (C_OFF <= λ_n) never drains; report the maximum duration.
+	// millibottleneck period (Eq 10). CheckStability guarantees the
+	// drain rate is strictly positive here.
 	drainRate := bn.CapacityOFF - bn.ArrivalRate
-	if drainRate > 0 {
-		p.DrainTime = durationFromSeconds(float64(bn.Queue) / drainRate)
-		p.Millibottleneck = a.L + p.DrainTime
-	} else {
-		p.DrainTime = 1<<63 - 1
-		p.Millibottleneck = 1<<63 - 1
-	}
+	p.DrainTime = durationFromSeconds(float64(bn.Queue) / drainRate)
+	p.Millibottleneck = a.L + p.DrainTime
 	return p, nil
 }
 
@@ -255,6 +271,9 @@ func PlanAttack(m Model, goal Goal, interval time.Duration) (Attack, error) {
 	}
 	if goal.MinImpact < 0 || goal.MinImpact >= 1 {
 		return Attack{}, fmt.Errorf("analytical: MinImpact must be in [0,1), got %v", goal.MinImpact)
+	}
+	if err := m.CheckStability(); err != nil {
+		return Attack{}, err
 	}
 	if err := m.CheckCondition1(); err != nil {
 		return Attack{}, err

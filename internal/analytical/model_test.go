@@ -238,17 +238,37 @@ func TestPredictStrongerAttackFillsFaster(t *testing.T) {
 	}
 }
 
-func TestPredictSaturatedBottleneckNeverDrains(t *testing.T) {
+func TestPredictOverloadedModelInfeasible(t *testing.T) {
 	m := Model{Tiers: []Tier{
 		{Name: "front", Queue: 50, CapacityOFF: 500, ArrivalRate: 0},
 		{Name: "db", Queue: 10, CapacityOFF: 100, ArrivalRate: 150}, // overloaded even OFF
 	}}
-	p, err := m.Predict(Attack{D: 0.1, L: 100 * time.Millisecond, I: time.Second})
-	if err != nil {
-		t.Fatal(err)
+	a := Attack{D: 0.1, L: 100 * time.Millisecond, I: time.Second}
+	if _, err := m.Predict(a); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("Predict on an overloaded model = %v, want ErrInfeasible", err)
 	}
-	if p.DrainTime != 1<<63-1 {
-		t.Errorf("overloaded bottleneck should never drain, got %v", p.DrainTime)
+
+	// An upstream tier over capacity must be rejected too: tier 1 sees
+	// the sum of all terminating rates (120 + 90 > 200).
+	front := Model{Tiers: []Tier{
+		{Name: "front", Queue: 50, CapacityOFF: 200, ArrivalRate: 120},
+		{Name: "db", Queue: 10, CapacityOFF: 100, ArrivalRate: 90},
+	}}
+	if _, err := front.Predict(a); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("Predict with an overloaded front tier = %v, want ErrInfeasible", err)
+	}
+	if _, err := PlanAttack(front, Goal{MinImpact: 0.05}, time.Second); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("PlanAttack on an overloaded model = %v, want ErrInfeasible", err)
+	}
+
+	// The boundary is strict: a tier exactly at capacity never drains,
+	// so equality is infeasible as well.
+	edge := Model{Tiers: []Tier{
+		{Name: "front", Queue: 50, CapacityOFF: 500, ArrivalRate: 0},
+		{Name: "db", Queue: 10, CapacityOFF: 100, ArrivalRate: 100},
+	}}
+	if _, err := edge.Predict(a); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("Predict at the capacity boundary = %v, want ErrInfeasible", err)
 	}
 }
 

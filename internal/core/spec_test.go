@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"memca/internal/queueing"
+	"memca/internal/sim"
+	"memca/internal/spec"
+)
+
+func TestFromSpecRoundTrip(t *testing.T) {
+	sys, err := spec.RUBBoSSystem().WithReplicas([]int{2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := spec.Traffic{Clients: 2600, ThinkTime: time.Second}
+	cfg, err := DefaultConfig().FromSpec(sys, traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Clients != 2600 || cfg.ThinkTime != time.Second {
+		t.Errorf("population not applied: %d clients, %v think", cfg.Clients, cfg.ThinkTime)
+	}
+	if cfg.Attack == nil || cfg.Seed != DefaultConfig().Seed {
+		t.Error("FromSpec must carry the receiver's scenario over")
+	}
+	for i, tier := range cfg.Tiers {
+		want := sys.Tiers[i]
+		if tier.QueueLimit != want.PooledThreads() || tier.Servers != want.PooledServers() {
+			t.Errorf("tier %d pooled as %d/%d, want %d/%d",
+				i, tier.QueueLimit, tier.Servers, want.PooledThreads(), want.PooledServers())
+		}
+		if got := tier.Service.Mean(); got != want.Service {
+			t.Errorf("tier %d service mean %v, want %v", i, got, want.Service)
+		}
+	}
+
+	// Spec(FromSpec(sys, traffic)) is sys.Pooled() except for the demand
+	// factors, which the config cannot see.
+	back, backTraffic, err := cfg.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled := sys.Pooled()
+	for i, tier := range back.Tiers {
+		want := pooled.Tiers[i]
+		if tier.Name != want.Name || tier.Threads != want.Threads ||
+			tier.Servers != want.Servers || tier.Service != want.Service || tier.Replicas != 1 {
+			t.Errorf("tier %d round-tripped as %+v, want %+v", i, tier, want)
+		}
+	}
+	if backTraffic.Clients != 2600 || backTraffic.ThinkTime != time.Second {
+		t.Errorf("traffic round-tripped as %+v", backTraffic)
+	}
+	if len(backTraffic.TierMix) != 3 {
+		t.Errorf("3-tier config should recover the RUBBoS mix, got %v", backTraffic.TierMix)
+	}
+
+	// FromSpec(cfg.Spec()) reproduces the config's topology exactly.
+	again, err := cfg.FromSpec(back, backTraffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tier := range again.Tiers {
+		orig := cfg.Tiers[i]
+		if tier.QueueLimit != orig.QueueLimit || tier.Servers != orig.Servers ||
+			tier.Service.Mean() != orig.Service.Mean() {
+			t.Errorf("tier %d not reproduced: %+v vs %+v", i, tier, orig)
+		}
+	}
+}
+
+func TestSpecDefaultTopology(t *testing.T) {
+	sys, traffic, err := DefaultConfig().Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled := spec.RUBBoSSystem().Pooled()
+	if len(sys.Tiers) != len(pooled.Tiers) {
+		t.Fatalf("default topology has %d tiers", len(sys.Tiers))
+	}
+	for i, tier := range sys.Tiers {
+		if tier != pooled.Tiers[i] {
+			t.Errorf("tier %d = %+v, want RUBBoS template %+v", i, tier, pooled.Tiers[i])
+		}
+	}
+	if traffic.Clients != 3500 || traffic.ThinkTime != 7*time.Second {
+		t.Errorf("traffic = %+v", traffic)
+	}
+}
+
+func TestSpecRejectsUnboundedQueue(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tiers = []queueing.TierConfig{{
+		Name:       "open",
+		QueueLimit: queueing.Infinite,
+		Servers:    2,
+		Service:    sim.NewExponential(time.Millisecond),
+	}}
+	_, _, err := cfg.Spec()
+	if err == nil || !strings.Contains(err.Error(), "unbounded") {
+		t.Errorf("Spec() = %v, want unbounded-queue error", err)
+	}
+}
+
+func TestFromSpecRejectsInvalid(t *testing.T) {
+	if _, err := DefaultConfig().FromSpec(spec.System{}, spec.RUBBoSTraffic()); err == nil {
+		t.Error("expected error for empty system")
+	}
+	if _, err := DefaultConfig().FromSpec(spec.RUBBoSSystem(), spec.Traffic{}); err == nil {
+		t.Error("expected error for empty traffic")
+	}
+}

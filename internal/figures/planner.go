@@ -1,0 +1,72 @@
+package figures
+
+import (
+	"time"
+
+	"memca/internal/plan"
+	"memca/internal/spec"
+)
+
+// PlannerResult captures the capacity-planner validation sweep: the
+// memca-plan solver's sizing verdicts replayed through the closed-loop
+// simulator across a load grid and seed set.
+type PlannerResult struct {
+	// Cells and Runs count the grid points and (cell, seed) simulations.
+	Cells int
+	Runs  int
+	// AllSizedOK reports every chosen sizing met the SLO in simulation.
+	AllSizedOK bool
+	// AllSmallerViolate reports every minimality witness (one bottleneck
+	// replica fewer) broke the SLO in simulation.
+	AllSmallerViolate bool
+	// MaxSizedP99 is the worst simulated p99 across the chosen sizings —
+	// the planner's safety margin is TargetRT minus this.
+	MaxSizedP99 time.Duration
+	// MinSmallerP99 is the best simulated p99 across the witnesses — the
+	// cliff's far side; it exceeding TargetRT is the minimality claim.
+	MinSmallerP99 time.Duration
+}
+
+// FigPlanner validates the capacity planner against the simulator: each
+// grid cell is sized by plan.Solve, then the sizing and its minimality
+// witness are replayed attack-free through the full closed-loop
+// simulation at every seed. It writes planner_validation.csv (one row
+// per cell and seed, byte-identical at any worker count).
+func FigPlanner(opts Options) (*PlannerResult, error) {
+	vopts := plan.ValidateOptions{
+		BaseSeed: opts.Seed,
+		Duration: opts.duration(160 * time.Second),
+		Workers:  opts.Parallel,
+		Progress: opts.Progress,
+	}
+	results, err := plan.Validate(spec.DefaultSLO(), vopts)
+	if err != nil {
+		return nil, err
+	}
+	res := &PlannerResult{
+		Cells:             len(plan.DefaultGrid()),
+		Runs:              len(results),
+		AllSizedOK:        true,
+		AllSmallerViolate: true,
+	}
+	for i, r := range results {
+		if !r.SizedOK {
+			res.AllSizedOK = false
+		}
+		if !r.SmallerViolates {
+			res.AllSmallerViolate = false
+		}
+		if r.SizedP99 > res.MaxSizedP99 {
+			res.MaxSizedP99 = r.SizedP99
+		}
+		if i == 0 || r.SmallerP99 < res.MinSmallerP99 {
+			res.MinSmallerP99 = r.SmallerP99
+		}
+	}
+	if path := opts.path("planner_validation.csv"); path != "" {
+		if err := plan.ValidationCSV(path, results); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

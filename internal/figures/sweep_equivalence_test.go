@@ -64,6 +64,10 @@ var sweepDrivers = []struct {
 		res, err := FigAttribution(o)
 		return fingerprint(res), err
 	}},
+	{"FigPlanner", func(o Options) (string, error) {
+		res, err := FigPlanner(o)
+		return fingerprint(res), err
+	}},
 }
 
 func fingerprint(res any) string { return fmt.Sprintf("%#v", res) }

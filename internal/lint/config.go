@@ -28,6 +28,13 @@ type Config struct {
 	// zero-alloc hot-path packages whose compiler escape analysis must
 	// match the checked-in budget file. Entries are exact import paths.
 	EscapeBudget []string
+
+	// DeprecatedCalls lists fully qualified functions ("import/path.Name")
+	// that sim-path packages must not call: the legacy positional wrappers
+	// kept only so external callers keep compiling. Test files are outside
+	// the loader's scope, so wrapper-equivalence regression tests may still
+	// exercise them.
+	DeprecatedCalls []string
 }
 
 // DefaultConfig returns the project policy.
@@ -35,7 +42,10 @@ type Config struct {
 // The sim-path set covers every package on the simulated side of the clock
 // boundary described in DESIGN.md: the engine itself, the queueing network,
 // workload generation, the cloud/attack/defense models, the analytical
-// model, statistics kernels, figure pipelines, the parallel sweep engine
+// model, the spec vocabulary and the capacity planner built on it (pure
+// arithmetic over the analytical model — any wall-clock use would make
+// sizing decisions irreproducible), statistics kernels, figure pipelines,
+// the parallel sweep engine
 // (its goroutines carry independent single-threaded simulations and no
 // randomness of their own), the per-request telemetry tracer (a pure
 // observer of the simulation — any wall-clock or stray-RNG use would
@@ -58,8 +68,10 @@ func DefaultConfig() *Config {
 			"memca/internal/defense",
 			"memca/internal/figures",
 			"memca/internal/memmodel",
+			"memca/internal/plan",
 			"memca/internal/queueing",
 			"memca/internal/sim",
+			"memca/internal/spec",
 			"memca/internal/stats",
 			"memca/internal/sweep",
 			"memca/internal/telemetry",
@@ -89,6 +101,13 @@ func DefaultConfig() *Config {
 			"memca/internal/telemetry",
 			"memca/internal/telemetry/live",
 			"memca/internal/workload",
+		},
+		DeprecatedCalls: []string{
+			"memca.PlanAttackArgs",
+			"memca.ProfileBandwidth",
+			"memca.BandwidthSweep",
+			"memca/internal/memmodel.ProfileBandwidth",
+			"memca/internal/memmodel.BandwidthSweep",
 		},
 	}
 }

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerDeprecatedCall flags calls from sim-path packages to the legacy
+// positional wrappers listed in Config.DeprecatedCalls. The wrappers are
+// kept so external callers keep compiling, but in-repo simulation code
+// must use the spec-based forms (Profile/Sweep with a ProfileSpec,
+// PlanAttack with a PlanGoal) — otherwise the deprecation arc never
+// finishes and the wrappers can never be deleted.
+//
+// Test files are outside the loader's scope, so the wrapper-equivalence
+// regression tests that deliberately exercise the deprecated forms keep
+// working.
+func AnalyzerDeprecatedCall() *Analyzer {
+	return &Analyzer{
+		Name: "deprecatedcall",
+		Doc:  "sim-path packages must not call deprecated positional wrappers; use the spec-based API",
+		Run:  runDeprecatedCall,
+	}
+}
+
+func runDeprecatedCall(pkg *Package, cfg *Config) []Diagnostic {
+	if len(cfg.DeprecatedCalls) == 0 || !cfg.IsSimPath(pkg.ImportPath) {
+		return nil
+	}
+	banned := make(map[string]bool, len(cfg.DeprecatedCalls))
+	for _, name := range cfg.DeprecatedCalls {
+		banned[name] = true
+	}
+	var diags []Diagnostic
+	for _, file := range pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			qualified := calledFunction(pkg, call.Fun)
+			if qualified == "" || !banned[qualified] {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(call.Pos()),
+				Analyzer: "deprecatedcall",
+				Message:  fmt.Sprintf("call to deprecated %s: use its spec-based replacement", qualified),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// calledFunction resolves a call target to its fully qualified
+// "import/path.Name" form. It covers the two shapes deprecated wrappers
+// are reached through — a package-qualified selector (memmodel.Sweep's
+// predecessor from another package) and a bare identifier (a call from
+// inside the wrapper's own package). Methods and local variables of
+// function type resolve to "".
+func calledFunction(pkg *Package, fun ast.Expr) string {
+	switch fn := fun.(type) {
+	case *ast.SelectorExpr:
+		if path := importedPackage(pkg.Info, fn.X); path != "" {
+			return path + "." + fn.Sel.Name
+		}
+	case *ast.Ident:
+		obj, ok := pkg.Info.Uses[fn].(*types.Func)
+		if !ok || obj.Pkg() == nil || obj.Pkg().Path() != pkg.ImportPath {
+			return ""
+		}
+		if obj.Type().(*types.Signature).Recv() != nil {
+			return ""
+		}
+		return pkg.ImportPath + "." + obj.Name()
+	}
+	return ""
+}

@@ -1,0 +1,51 @@
+// Package wrappers is a golden file for the deprecatedcall analyzer.
+package wrappers
+
+import "memca/internal/memmodel"
+
+// profileBandwidth stands in for a same-package legacy wrapper.
+//
+// Deprecated: use profile with a profileSpec.
+func profileBandwidth(vms int) int { return profile(profileSpec{vms: vms}) }
+
+type profileSpec struct{ vms int }
+
+// profile is the spec-based replacement.
+func profile(s profileSpec) int { return s.vms }
+
+// Same-package calls to a listed wrapper are flagged.
+func callsLocalWrapper() int {
+	return profileBandwidth(2) // want `call to deprecated memca/internal/lint/testdata/deprecatedcall.profileBandwidth`
+}
+
+// The replacement is fine.
+func callsReplacement() int { return profile(profileSpec{vms: 2}) }
+
+// Cross-package calls resolve through the import and are flagged too.
+func callsCrossPackage() (memmodel.BandwidthPoint, error) {
+	return memmodel.ProfileBandwidth(memmodel.XeonE5_2603v3(), 1, memmodel.PlacementSamePackage, memmodel.AttackBusSaturation, 0) // want `call to deprecated memca/internal/memmodel.ProfileBandwidth`
+}
+
+// The spec-based form from the same package is fine.
+func callsCrossReplacement() (memmodel.BandwidthPoint, error) {
+	return memmodel.Profile(memmodel.ProfileSpec{
+		Host:      memmodel.XeonE5_2603v3(),
+		VMs:       1,
+		Placement: memmodel.PlacementSamePackage,
+		Kind:      memmodel.AttackBusSaturation,
+	})
+}
+
+// A local variable of function type shadowing the name is not a call to
+// the package-level wrapper.
+func callsShadowed() int {
+	profileBandwidth := func(vms int) int { return vms }
+	return profileBandwidth(2)
+}
+
+// Methods named like a wrapper are not package-level functions.
+type profiler struct{}
+
+func (profiler) profileBandwidth(vms int) int { return vms }
+
+func callsMethod() int { return profiler{}.profileBandwidth(2) }

@@ -78,7 +78,7 @@ func TestAddVMValidation(t *testing.T) {
 
 func TestFinding1SingleVMDoesNotSaturateBus(t *testing.T) {
 	cfg := XeonE5_2603v3()
-	p, err := ProfileBandwidth(cfg, 1, PlacementSamePackage, AttackBusSaturation, 0)
+	p, err := Profile(ProfileSpec{Host: cfg, VMs: 1, Placement: PlacementSamePackage, Kind: AttackBusSaturation})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestFinding1SingleVMDoesNotSaturateBus(t *testing.T) {
 func TestFinding2PerVMBandwidthDecreases(t *testing.T) {
 	cfg := XeonE5_2603v3()
 	for _, placement := range []PlacementMode{PlacementSamePackage, PlacementRandomPackage} {
-		sweep, err := BandwidthSweep(cfg, 6, placement, AttackBusSaturation, 0)
+		sweep, err := Sweep(ProfileSpec{Host: cfg, VMs: 6, Placement: placement, Kind: AttackBusSaturation})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,11 +111,11 @@ func TestFinding2PerVMBandwidthDecreases(t *testing.T) {
 
 func TestFinding2RandomPackageDegradesLess(t *testing.T) {
 	cfg := XeonE5_2603v3()
-	same, err := BandwidthSweep(cfg, 6, PlacementSamePackage, AttackBusSaturation, 0)
+	same, err := Sweep(ProfileSpec{Host: cfg, VMs: 6, Placement: PlacementSamePackage, Kind: AttackBusSaturation})
 	if err != nil {
 		t.Fatal(err)
 	}
-	random, err := BandwidthSweep(cfg, 6, PlacementRandomPackage, AttackBusSaturation, 0)
+	random, err := Sweep(ProfileSpec{Host: cfg, VMs: 6, Placement: PlacementRandomPackage, Kind: AttackBusSaturation})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,11 +132,11 @@ func TestFinding2RandomPackageDegradesLess(t *testing.T) {
 func TestFinding3LockBeatsSaturation(t *testing.T) {
 	cfg := XeonE5_2603v3()
 	for k := 1; k <= 6; k++ {
-		sat, err := ProfileBandwidth(cfg, k, PlacementSamePackage, AttackBusSaturation, 0)
+		sat, err := Profile(ProfileSpec{Host: cfg, VMs: k, Placement: PlacementSamePackage, Kind: AttackBusSaturation})
 		if err != nil {
 			t.Fatal(err)
 		}
-		lock, err := ProfileBandwidth(cfg, k, PlacementSamePackage, AttackMemoryLock, 1.0)
+		lock, err := Profile(ProfileSpec{Host: cfg, VMs: k, Placement: PlacementSamePackage, Kind: AttackMemoryLock, LockDuty: 1.0})
 		if err != nil {
 			t.Fatal(err)
 		}

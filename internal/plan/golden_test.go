@@ -1,0 +1,71 @@
+package plan
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"memca/internal/spec"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares got byte-for-byte against testdata/<name>. The
+// memca-plan report formats are artifact contracts — any diff is a
+// breaking change. Regenerate deliberately with:
+// go test ./internal/plan -run Golden -update
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	goldenPath := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s drifted from golden file:\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// goldenRequest is the pinned planning problem behind both golden files:
+// a heavy-traffic point whose sizing needs multiple replicas, so the
+// report exercises the minimality witness and both rate ceilings.
+func goldenRequest() Request {
+	return Request{
+		System:  spec.RUBBoSSystem(),
+		Traffic: spec.Traffic{Clients: 2600, ThinkTime: time.Second},
+		SLO:     spec.DefaultSLO(),
+	}
+}
+
+func TestGoldenTextReport(t *testing.T) {
+	req := goldenRequest()
+	res, err := Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.txt", []byte(res.Render(req)))
+}
+
+func TestGoldenJSONReport(t *testing.T) {
+	req := goldenRequest()
+	res, err := Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.JSON(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.json", append(got, '\n'))
+}

@@ -1,0 +1,292 @@
+// Package plan inverts the reproduction's analytical model into a
+// capacity planner: given a tier template catalogue, a traffic forecast,
+// and an SLO, it searches replica counts and thread-pool sizes for the
+// cheapest sizing that holds the objective both attack-free and under the
+// worst-case stealthy MemCA burst train, reusing analytical.PlanAttack as
+// the adversary oracle. The solver is pure arithmetic over the spec
+// vocabulary — deterministic, simulation-free — and is validated against
+// the simulator by the sweep harness in validate.go.
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"memca/internal/analytical"
+	"memca/internal/spec"
+)
+
+// Adversary bounds the attacker the planner sizes against: a MemCA burst
+// train that must stay stealthy (millibottlenecks below the detection
+// window) but is otherwise free to pick its degradation, burst length,
+// and interval.
+type Adversary struct {
+	// Intervals are the candidate burst intervals I the attacker may use;
+	// the oracle takes the worst case over them.
+	Intervals []time.Duration
+	// MaxMillibottleneck is the stealth bound on P_MB = L + drain: bursts
+	// whose millibottlenecks exceed it are visible to coarse monitoring
+	// and assumed to be caught. Zero disables the bound (an unconstrained
+	// attacker).
+	MaxMillibottleneck time.Duration
+	// RTOMin is the response-time floor a request caught in the hold-on
+	// stage pays (the TCP retransmission minimum, RFC 6298: 1 s).
+	RTOMin time.Duration
+}
+
+// DefaultAdversary returns the paper's stealthy attacker: bursts at 1, 2,
+// or 5 second intervals, millibottlenecks kept under 1 s, damaged
+// requests delayed by the 1 s TCP retransmission minimum.
+func DefaultAdversary() Adversary {
+	return Adversary{
+		Intervals:          []time.Duration{time.Second, 2 * time.Second, 5 * time.Second},
+		MaxMillibottleneck: time.Second,
+		RTOMin:             time.Second,
+	}
+}
+
+// Validate reports the first adversary error, or nil.
+func (a Adversary) Validate() error {
+	if len(a.Intervals) == 0 {
+		return fmt.Errorf("plan: adversary needs at least one interval")
+	}
+	for i, iv := range a.Intervals {
+		if iv <= 0 {
+			return fmt.Errorf("plan: adversary interval %d must be positive, got %v", i, iv)
+		}
+	}
+	if a.MaxMillibottleneck < 0 {
+		return fmt.Errorf("plan: MaxMillibottleneck must be non-negative, got %v", a.MaxMillibottleneck)
+	}
+	if a.RTOMin <= 0 {
+		return fmt.Errorf("plan: RTOMin must be positive, got %v", a.RTOMin)
+	}
+	return nil
+}
+
+// Assessment is the oracle's verdict on one sizing under one traffic
+// point: the attack-free tail, the worst stealthy attack, and whether the
+// SLO holds in each regime.
+type Assessment struct {
+	// Stable reports every tier keeps attack-free headroom at the
+	// forecast peak (analytical.CheckStability).
+	Stable bool `json:"stable"`
+	// Utilization[i] is tier i's pooled utilization at the peak.
+	Utilization []float64 `json:"utilization,omitempty"`
+	// TailOff is the attack-free SLO-percentile response time: the sum of
+	// per-tier M/M/c waiting-time quantiles plus service times, a
+	// conservative composition of the critical path.
+	TailOff time.Duration `json:"tail_off"`
+	// WorstImpact is the largest hold-on fraction rho = P_D / I any
+	// stealthy attack achieves against this sizing (0 when no stealthy
+	// attack fills the queues).
+	WorstImpact float64 `json:"worst_impact"`
+	// WorstAttack is a maximal attack realizing WorstImpact (zero value
+	// when WorstImpact is 0).
+	WorstAttack analytical.Attack `json:"worst_attack"`
+	// WorstInterval is the burst interval of WorstAttack.
+	WorstInterval time.Duration `json:"worst_interval,omitempty"`
+	// TailOn is the SLO-percentile response time under WorstAttack: a
+	// fraction WorstImpact of requests pays at least RTOMin, the rest see
+	// the attack-free distribution.
+	TailOn time.Duration `json:"tail_on"`
+	// DropOn is the request drop fraction under WorstAttack: during the
+	// hold-on stage the front queue is full, so arrivals are shed.
+	DropOn float64 `json:"drop_on"`
+	// OKOff reports the SLO holds attack-free.
+	OKOff bool `json:"ok_off"`
+	// OKOn reports the SLO also holds under the worst stealthy attack.
+	OKOn bool `json:"ok_on"`
+	// Reason names the first violated constraint when OKOn is false.
+	Reason string `json:"reason,omitempty"`
+}
+
+// impactIterations is the bisection depth for the worst-impact search:
+// 20 halvings of [0,1) resolve rho to ~1e-6.
+const impactIterations = 20
+
+// Evaluate runs the oracle for one sizing: the system must already be in
+// a shape the analytical model accepts (validated, condition 1). The
+// traffic's forecast peak is the sizing point.
+func Evaluate(sys spec.System, traffic spec.Traffic, slo spec.SLO, adv Adversary) (Assessment, error) {
+	if err := slo.Validate(); err != nil {
+		return Assessment{}, err
+	}
+	if err := adv.Validate(); err != nil {
+		return Assessment{}, err
+	}
+	m, err := sys.Model(traffic)
+	if err != nil {
+		return Assessment{}, err
+	}
+	if err := m.Validate(); err != nil {
+		return Assessment{}, err
+	}
+
+	a := Assessment{}
+	if err := m.CheckStability(); err != nil {
+		if !errors.Is(err, analytical.ErrInfeasible) {
+			return Assessment{}, err
+		}
+		a.Reason = "overloaded: " + err.Error()
+		return a, nil
+	}
+	a.Stable = true
+	for i := range m.Tiers {
+		a.Utilization = append(a.Utilization, m.SeenRate(i)/m.Tiers[i].CapacityOFF)
+	}
+
+	p := slo.EffectivePercentile() / 100
+	tailOff, err := tailQuantile(sys, m, p)
+	if err != nil {
+		return Assessment{}, err
+	}
+	a.TailOff = tailOff
+	a.OKOff = tailOff <= slo.TargetRT && slo.MaxDropRate >= 0
+	if !a.OKOff {
+		a.Reason = fmt.Sprintf("attack-free p%g %v exceeds target %v", slo.EffectivePercentile(), tailOff, slo.TargetRT)
+	}
+
+	rho, attack, interval, err := worstImpact(m, adv)
+	if err != nil {
+		return Assessment{}, err
+	}
+	a.WorstImpact = rho
+	a.WorstAttack = attack
+	a.WorstInterval = interval
+	a.DropOn = rho
+
+	// Attacked tail: mixture of the hold-on fraction (RT >= RTOMin) and
+	// the attack-free distribution. The quantile either lands in the
+	// damaged mass or maps to a deeper attack-free quantile.
+	tail := 1 - p
+	switch {
+	case rho <= 0:
+		a.TailOn = tailOff
+	case rho >= tail:
+		a.TailOn = adv.RTOMin
+		if tailOff > a.TailOn {
+			a.TailOn = tailOff
+		}
+	default:
+		adjusted := 1 - (tail-rho)/(1-rho)
+		t, err := tailQuantile(sys, m, adjusted)
+		if err != nil {
+			return Assessment{}, err
+		}
+		a.TailOn = t
+	}
+
+	a.OKOn = a.OKOff && a.TailOn <= slo.TargetRT && a.DropOn <= slo.MaxDropRate
+	if a.OKOff && !a.OKOn {
+		switch {
+		case a.TailOn > slo.TargetRT:
+			a.Reason = fmt.Sprintf("attacked p%g %v exceeds target %v (worst stealthy impact %.4f)",
+				slo.EffectivePercentile(), a.TailOn, slo.TargetRT, rho)
+		default:
+			a.Reason = fmt.Sprintf("attacked drop rate %.4f exceeds budget %.4f", a.DropOn, slo.MaxDropRate)
+		}
+	}
+	return a, nil
+}
+
+// tailQuantile composes a conservative p-quantile of the client response
+// time attack-free: each tier is an M/M/c station at its pooled traffic,
+// and the per-tier waiting-time p-quantiles plus mean demands are summed
+// along the critical path. Summing per-tier quantiles upper-bounds the
+// quantile of the sum, so a sizing accepted here holds the target in any
+// dependence structure.
+func tailQuantile(sys spec.System, m analytical.Model, p float64) (time.Duration, error) {
+	var total time.Duration
+	for i, tier := range sys.Tiers {
+		demand := time.Duration(float64(tier.Service) * demandFactor(tier))
+		total += demand
+		seen := m.SeenRate(i)
+		if seen <= 0 {
+			continue
+		}
+		servers := tier.PooledServers()
+		mu := 1 / demand.Seconds()
+		q, err := analytical.NewMMc(seen, mu, servers)
+		if err != nil {
+			return 0, fmt.Errorf("plan: tier %q: %w", tier.Name, err)
+		}
+		total += q.WaitQuantile(p)
+	}
+	return total, nil
+}
+
+// demandFactor mirrors the spec's zero-value-is-1 convention.
+func demandFactor(t spec.TierSpec) float64 {
+	if t.DemandFactor <= 0 {
+		return 1
+	}
+	return t.DemandFactor
+}
+
+// worstImpact returns the supremum hold-on fraction rho any stealthy
+// attack achieves against the model, over the adversary's candidate
+// intervals, by bisecting the largest feasible MinImpact goal through
+// analytical.PlanAttack. Errors other than ErrInfeasible (a broken model)
+// propagate.
+func worstImpact(m analytical.Model, adv Adversary) (float64, analytical.Attack, time.Duration, error) {
+	var (
+		bestRho      float64
+		bestAttack   analytical.Attack
+		bestInterval time.Duration
+	)
+	for _, interval := range adv.Intervals {
+		goal := analytical.Goal{MaxMillibottleneck: adv.MaxMillibottleneck}
+		feasible := func(g float64) (bool, error) {
+			goal.MinImpact = g
+			_, err := analytical.PlanAttack(m, goal, interval)
+			if err == nil {
+				return true, nil
+			}
+			if errors.Is(err, analytical.ErrInfeasible) {
+				return false, nil
+			}
+			return false, err
+		}
+		ok, err := feasible(0)
+		if err != nil {
+			return 0, analytical.Attack{}, 0, err
+		}
+		if !ok {
+			continue // no stealthy attack fills the queues at this interval
+		}
+		lo, hi := 0.0, 1.0
+		for iter := 0; iter < impactIterations; iter++ {
+			mid := (lo + hi) / 2
+			ok, err := feasible(mid)
+			if err != nil {
+				return 0, analytical.Attack{}, 0, err
+			}
+			if ok {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		if lo >= bestRho {
+			goal.MinImpact = lo
+			attack, err := analytical.PlanAttack(m, goal, interval)
+			if err != nil {
+				return 0, analytical.Attack{}, 0, err
+			}
+			// Report the realized impact of the planned attack, not the
+			// bisection bound (the attack may overshoot the goal).
+			pred, err := m.Predict(attack)
+			if err != nil {
+				return 0, analytical.Attack{}, 0, err
+			}
+			if pred.Impact >= bestRho {
+				bestRho = pred.Impact
+				bestAttack = attack
+				bestInterval = interval
+			}
+		}
+	}
+	return bestRho, bestAttack, bestInterval, nil
+}

@@ -1,0 +1,235 @@
+package plan
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"memca/internal/spec"
+)
+
+func rubbosRequest() Request {
+	return Request{
+		System:  spec.RUBBoSSystem(),
+		Traffic: spec.RUBBoSTraffic(),
+		SLO:     spec.DefaultSLO(),
+	}
+}
+
+func TestSolveRUBBoSDefaults(t *testing.T) {
+	req := rubbosRequest()
+	res, err := Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Assessment.OKOn || !res.Assessment.OKOff {
+		t.Fatalf("chosen sizing not feasible: %+v", res.Assessment)
+	}
+	// The paper's stock deployment (one replica per tier, stock pools) is
+	// vulnerable to the stealthy attack, so the planner must change
+	// something — here it deepens the pools until no stealthy burst can
+	// fill the queues within the millibottleneck bound.
+	if res.Sizing.ThreadScale == 1 {
+		stock, err := Evaluate(req.System, req.Traffic, req.SLO, DefaultAdversary())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stock.OKOn {
+			t.Error("planner kept the stock pools although the stock sizing fails under attack")
+		}
+	}
+	if err := res.Sizing.System.CheckCondition1(); err != nil {
+		t.Errorf("chosen sizing violates condition 1: %v", err)
+	}
+	if res.MaxClientsOn > res.MaxClientsOff {
+		t.Errorf("attacked capacity %d exceeds attack-free capacity %d", res.MaxClientsOn, res.MaxClientsOff)
+	}
+	if res.MaxClientsOff < req.Traffic.Clients {
+		t.Errorf("sized system sustains only %d clients, below the forecast %d", res.MaxClientsOff, req.Traffic.Clients)
+	}
+}
+
+func TestSolveMinimalityWitness(t *testing.T) {
+	req := rubbosRequest()
+	req.Traffic = spec.Traffic{Clients: 2600, ThinkTime: time.Second}
+	res, err := Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NextSmaller == nil {
+		t.Fatalf("expected a multi-replica bottleneck with a minimality witness, got replicas %v", res.Sizing.Replicas)
+	}
+	if res.NextSmallerAssessment == nil || res.NextSmallerAssessment.OKOn {
+		t.Errorf("minimality witness must fail the SLO: %+v", res.NextSmallerAssessment)
+	}
+	last := len(res.Sizing.Replicas) - 1
+	if res.NextSmaller.Replicas[last] != res.Sizing.Replicas[last]-1 {
+		t.Errorf("witness replicas %v for sizing %v", res.NextSmaller.Replicas, res.Sizing.Replicas)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	req := rubbosRequest()
+	req.SLO.TargetRT = time.Microsecond // nothing can hold a 1us p99
+	_, err := Solve(req)
+	if !errors.Is(err, ErrNoFeasibleSizing) {
+		t.Fatalf("Solve = %v, want ErrNoFeasibleSizing", err)
+	}
+}
+
+// TestSolveMonotoneInSLO: loosening the target response time never makes
+// the chosen sizing more expensive.
+func TestSolveMonotoneInSLO(t *testing.T) {
+	req := rubbosRequest()
+	req.Traffic = spec.Traffic{Clients: 2000, ThinkTime: time.Second}
+	targets := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond, time.Second}
+	var prev *Cost
+	for _, target := range targets {
+		req.SLO.TargetRT = target
+		res, err := Solve(req)
+		if err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		if prev != nil && prev.Less(res.Sizing.Cost) {
+			t.Errorf("loosening target to %v raised cost %+v -> %+v", target, *prev, res.Sizing.Cost)
+		}
+		c := res.Sizing.Cost
+		prev = &c
+	}
+}
+
+// TestSolveMonotoneInLoad: more offered load never makes the chosen
+// sizing cheaper, and the sustainable-rate ceilings never shrink below
+// the forecast.
+func TestSolveMonotoneInLoad(t *testing.T) {
+	req := rubbosRequest()
+	var prev *Cost
+	for _, clients := range []int{500, 1000, 2000, 3000} {
+		req.Traffic = spec.Traffic{Clients: clients, ThinkTime: time.Second}
+		res, err := Solve(req)
+		if err != nil {
+			t.Fatalf("%d clients: %v", clients, err)
+		}
+		if prev != nil && res.Sizing.Cost.Less(*prev) {
+			t.Errorf("raising load to %d clients lowered cost %+v -> %+v", clients, *prev, res.Sizing.Cost)
+		}
+		if res.MaxClientsOn < clients {
+			t.Errorf("%d clients: sized system sustains only %d under attack", clients, res.MaxClientsOn)
+		}
+		c := res.Sizing.Cost
+		prev = &c
+	}
+}
+
+// TestEvaluateMonotoneInLoad: the oracle's attack-free tail never
+// improves when load grows on a fixed sizing. (The worst stealthy impact
+// is deliberately not asserted monotone: near saturation the bottleneck's
+// drain time outgrows the stealth bound and the attacker loses ground.)
+func TestEvaluateMonotoneInLoad(t *testing.T) {
+	sys, err := spec.RUBBoSSystem().WithReplicas([]int{2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo := spec.DefaultSLO()
+	adv := DefaultAdversary()
+	var prev *Assessment
+	for _, clients := range []int{500, 1000, 1500, 2000, 2500} {
+		a, err := Evaluate(sys, spec.Traffic{Clients: clients, ThinkTime: time.Second}, slo, adv)
+		if err != nil {
+			t.Fatalf("%d clients: %v", clients, err)
+		}
+		if !a.Stable {
+			t.Fatalf("%d clients: expected a stable operating point", clients)
+		}
+		if prev != nil {
+			if a.TailOff < prev.TailOff {
+				t.Errorf("%d clients: attack-free tail improved %v -> %v", clients, prev.TailOff, a.TailOff)
+			}
+		}
+		prev = &a
+	}
+}
+
+func TestEvaluateOverloadedSizing(t *testing.T) {
+	// 5000 req/s against mysql's ~920 req/s: the oracle must report an
+	// unstable, infeasible sizing, not an error.
+	a, err := Evaluate(spec.RUBBoSSystem(), spec.Traffic{Clients: 5000, ThinkTime: time.Second},
+		spec.DefaultSLO(), DefaultAdversary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stable || a.OKOff || a.OKOn {
+		t.Errorf("overloaded sizing assessed as %+v", a)
+	}
+	if a.Reason == "" {
+		t.Error("expected a reason for the infeasible verdict")
+	}
+}
+
+// TestStockRUBBoSVulnerable reproduces the paper's premise through the
+// oracle: the stock deployment has attack-free headroom yet a stealthy
+// burst train drives it out of any reasonable SLO.
+func TestStockRUBBoSVulnerable(t *testing.T) {
+	a, err := Evaluate(spec.RUBBoSSystem(), spec.RUBBoSTraffic(), spec.DefaultSLO(), DefaultAdversary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Stable || !a.OKOff {
+		t.Fatalf("stock RUBBoS should be fine attack-free: %+v", a)
+	}
+	if a.WorstImpact < 0.05 {
+		t.Errorf("worst stealthy impact %.4f, want >= 0.05 (the paper's damage goal)", a.WorstImpact)
+	}
+	if a.OKOn {
+		t.Error("stock RUBBoS must fail the SLO under the worst stealthy attack")
+	}
+	if a.TailOn < DefaultAdversary().RTOMin {
+		t.Errorf("attacked tail %v below the retransmission floor", a.TailOn)
+	}
+}
+
+func TestEnumerateOrderDeterministic(t *testing.T) {
+	opts := Options{MaxReplicas: 3, ThreadScales: []int{2, 1}}
+	first, err := enumerate(spec.RUBBoSSystem(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := enumerate(spec.RUBBoSSystem(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) || len(first) != 3*3*3*2 {
+		t.Fatalf("enumeration sizes %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].Cost != second[i].Cost || first[i].ThreadScale != second[i].ThreadScale {
+			t.Fatalf("enumeration order diverges at %d", i)
+		}
+		for j := range first[i].Replicas {
+			if first[i].Replicas[j] != second[i].Replicas[j] {
+				t.Fatalf("enumeration order diverges at %d", i)
+			}
+		}
+		if i > 0 && first[i].Cost.Less(first[i-1].Cost) {
+			t.Fatalf("enumeration not ascending at %d: %+v after %+v", i, first[i].Cost, first[i-1].Cost)
+		}
+	}
+}
+
+func TestSolveRespectsRequestMinimumReplicas(t *testing.T) {
+	req := rubbosRequest()
+	sys, err := req.System.WithReplicas([]int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.System = sys
+	res, err := Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Sizing.Replicas {
+		if r < 2 {
+			t.Errorf("tier %d sized below the requested minimum: %d", i, r)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Render formats the result as the memca-plan text report.
+func (r Result) Render(req Request) string {
+	var b strings.Builder
+	slo := req.SLO
+	fmt.Fprintf(&b, "memca-plan: sizing for p%g <= %v, drops <= %.2f%%\n",
+		slo.EffectivePercentile(), slo.TargetRT, slo.MaxDropRate*100)
+	fmt.Fprintf(&b, "traffic: %d clients, %v think (peak x%.2f -> %.1f req/s)\n",
+		req.Traffic.Clients, req.Traffic.ThinkTime, req.Traffic.PeakMultiplier(), req.Traffic.PeakRate())
+	b.WriteString("\nchosen sizing (cheapest feasible):\n")
+	fmt.Fprintf(&b, "  %-8s %9s %8s %8s %9s %6s\n", "tier", "replicas", "threads", "servers", "cap req/s", "util")
+	for i, t := range r.Sizing.System.Tiers {
+		util := 0.0
+		if i < len(r.Assessment.Utilization) {
+			util = r.Assessment.Utilization[i]
+		}
+		fmt.Fprintf(&b, "  %-8s %9d %8d %8d %9.0f %5.1f%%\n",
+			t.Name, r.Sizing.Replicas[i], t.PooledThreads(), t.PooledServers(), t.Capacity(), util*100)
+	}
+	fmt.Fprintf(&b, "  cost: %d servers, %d threads (thread scale x%d); %d candidates scored\n",
+		r.Sizing.Cost.Servers, r.Sizing.Cost.Threads, r.Sizing.ThreadScale, r.Evaluated)
+
+	a := r.Assessment
+	b.WriteString("\nverdict at forecast peak:\n")
+	fmt.Fprintf(&b, "  attack-free: p%g = %v, drops 0.00%%\n", slo.EffectivePercentile(), a.TailOff)
+	if a.WorstImpact > 0 {
+		fmt.Fprintf(&b, "  worst stealthy attack: D=%.2f L=%v I=%v (impact %.4f)\n",
+			a.WorstAttack.D, a.WorstAttack.L, a.WorstInterval, a.WorstImpact)
+		fmt.Fprintf(&b, "  under attack: p%g = %v, drops %.2f%%\n", slo.EffectivePercentile(), a.TailOn, a.DropOn*100)
+	} else {
+		b.WriteString("  worst stealthy attack: none fills the queues (sizing is attack-proof at this stealth bound)\n")
+	}
+
+	b.WriteString("\nmax sustainable load within SLO:\n")
+	fmt.Fprintf(&b, "  attack-free:  %d clients (%.1f req/s peak)\n", r.MaxClientsOff, r.MaxRateOff)
+	fmt.Fprintf(&b, "  under attack: %d clients (%.1f req/s peak)\n", r.MaxClientsOn, r.MaxRateOn)
+
+	if r.NextSmaller != nil {
+		fmt.Fprintf(&b, "\nminimality witness: one %s replica fewer (%v) fails: %s\n",
+			lastTierName(req), r.NextSmaller.Replicas, nextSmallerReason(r))
+	} else {
+		b.WriteString("\nminimality witness: bottleneck already at one replica\n")
+	}
+	return b.String()
+}
+
+// lastTierName names the bottleneck tier.
+func lastTierName(req Request) string {
+	return req.System.Tiers[len(req.System.Tiers)-1].Name
+}
+
+// nextSmallerReason summarizes why the minimality witness fails.
+func nextSmallerReason(r Result) string {
+	a := r.NextSmallerAssessment
+	if a == nil {
+		return "not assessed"
+	}
+	if a.Reason != "" {
+		return a.Reason
+	}
+	if a.OKOn {
+		return "unexpectedly feasible"
+	}
+	return "SLO violated"
+}
+
+// reportJSON is the memca-plan JSON document.
+type reportJSON struct {
+	SLO struct {
+		Percentile  float64       `json:"percentile"`
+		TargetRT    time.Duration `json:"target_rt_ns"`
+		MaxDropRate float64       `json:"max_drop_rate"`
+	} `json:"slo"`
+	Traffic struct {
+		Clients  int     `json:"clients"`
+		ThinkSec float64 `json:"think_seconds"`
+		PeakMult float64 `json:"peak_multiplier"`
+		PeakRate float64 `json:"peak_rate"`
+	} `json:"traffic"`
+	Result Result `json:"result"`
+}
+
+// JSON renders the result as an indented JSON document.
+func (r Result) JSON(req Request) ([]byte, error) {
+	var doc reportJSON
+	doc.SLO.Percentile = req.SLO.EffectivePercentile()
+	doc.SLO.TargetRT = req.SLO.TargetRT
+	doc.SLO.MaxDropRate = req.SLO.MaxDropRate
+	doc.Traffic.Clients = req.Traffic.Clients
+	doc.Traffic.ThinkSec = req.Traffic.ThinkTime.Seconds()
+	doc.Traffic.PeakMult = req.Traffic.PeakMultiplier()
+	doc.Traffic.PeakRate = req.Traffic.PeakRate()
+	doc.Result = r
+	return json.MarshalIndent(doc, "", "  ")
+}

@@ -1,0 +1,36 @@
+package victimd
+
+import (
+	"fmt"
+
+	"memca/internal/spec"
+)
+
+// SystemFromSpec maps a 3-tier capacity spec onto the live chain: each
+// tier's pooled thread count (threads × replicas, the Q_i of the model)
+// becomes that tier's worker pool, and the per-request service time
+// carries over directly. This is the bridge that lets a sizing chosen by
+// the capacity planner be stood up as a real localhost system and probed
+// with the MemCA-FE/BE framework.
+//
+// Only the tier count and pool shape are checked here; StartSystem
+// re-validates the descending-pool condition after any manual edits. The
+// spec's demand factors describe per-tier visit ratios in the open
+// queueing model and have no live analogue — victimd's chain visits every
+// tier exactly once per request.
+func SystemFromSpec(sys spec.System) (SystemConfig, error) {
+	if err := sys.Validate(); err != nil {
+		return SystemConfig{}, fmt.Errorf("victimd: %w", err)
+	}
+	if len(sys.Tiers) != 3 {
+		return SystemConfig{}, fmt.Errorf("victimd: live chain is web/app/db; spec has %d tiers, want 3", len(sys.Tiers))
+	}
+	if err := sys.CheckCondition1(); err != nil {
+		return SystemConfig{}, fmt.Errorf("victimd: %w", err)
+	}
+	web, app, db := sys.Tiers[0], sys.Tiers[1], sys.Tiers[2]
+	return SystemConfig{
+		WebWorkers: web.PooledThreads(), AppWorkers: app.PooledThreads(), DBWorkers: db.PooledThreads(),
+		WebService: web.Service, AppService: app.Service, DBService: db.Service,
+	}, nil
+}

@@ -1,0 +1,90 @@
+package victimd
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"memca/internal/spec"
+)
+
+func TestSystemFromSpecRUBBoS(t *testing.T) {
+	sys := spec.RUBBoSSystem()
+	cfg, err := SystemFromSpec(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		name    string
+		workers int
+		service time.Duration
+		gotW    int
+		gotS    time.Duration
+	}{
+		{"web", sys.Tiers[0].PooledThreads(), sys.Tiers[0].Service, cfg.WebWorkers, cfg.WebService},
+		{"app", sys.Tiers[1].PooledThreads(), sys.Tiers[1].Service, cfg.AppWorkers, cfg.AppService},
+		{"db", sys.Tiers[2].PooledThreads(), sys.Tiers[2].Service, cfg.DBWorkers, cfg.DBService},
+	}
+	for _, w := range want {
+		if w.gotW != w.workers {
+			t.Errorf("%s workers = %d, want pooled %d", w.name, w.gotW, w.workers)
+		}
+		if w.gotS != w.service {
+			t.Errorf("%s service = %v, want %v", w.name, w.gotS, w.service)
+		}
+	}
+}
+
+// TestSystemFromSpecStarts stands a spec-derived sizing up as a real
+// chain and serves one request through it — the planner-to-live bridge
+// end to end.
+func TestSystemFromSpecStarts(t *testing.T) {
+	sys := spec.System{Tiers: []spec.TierSpec{
+		{Name: "web", Threads: 8, Servers: 2, Service: 100 * time.Microsecond},
+		{Name: "app", Threads: 4, Servers: 2, Service: 200 * time.Microsecond},
+		{Name: "db", Threads: 2, Servers: 1, Service: 500 * time.Microsecond},
+	}}
+	cfg, err := SystemFromSpec(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := StartSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := live.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, status, err := live.Probe(ctx); err != nil {
+		t.Fatalf("probe: %v", err)
+	} else if status != 200 {
+		t.Fatalf("probe status = %d, want 200", status)
+	}
+}
+
+func TestSystemFromSpecRejects(t *testing.T) {
+	two := spec.System{Tiers: []spec.TierSpec{
+		{Name: "web", Threads: 8, Servers: 2, Service: 100 * time.Microsecond},
+		{Name: "db", Threads: 2, Servers: 1, Service: 500 * time.Microsecond},
+	}}
+	if _, err := SystemFromSpec(two); err == nil {
+		t.Error("2-tier spec: want error, got nil")
+	}
+
+	inverted := spec.System{Tiers: []spec.TierSpec{
+		{Name: "web", Threads: 2, Servers: 2, Service: 100 * time.Microsecond},
+		{Name: "app", Threads: 4, Servers: 2, Service: 200 * time.Microsecond},
+		{Name: "db", Threads: 8, Servers: 1, Service: 500 * time.Microsecond},
+	}}
+	if _, err := SystemFromSpec(inverted); err == nil {
+		t.Error("inverted pools: want condition-1 error, got nil")
+	}
+
+	if _, err := SystemFromSpec(spec.System{}); err == nil {
+		t.Error("empty spec: want error, got nil")
+	}
+}

@@ -30,6 +30,8 @@ import (
 	"memca/internal/core"
 	"memca/internal/memmodel"
 	"memca/internal/monitor"
+	"memca/internal/plan"
+	"memca/internal/spec"
 	"memca/internal/sweep"
 	"memca/internal/telemetry"
 )
@@ -115,6 +117,69 @@ type (
 // acceptable damage and the stealth ceiling on millibottleneck duration.
 // (The runtime controller's objective is the separate Goal type.)
 type PlanGoal = analytical.Goal
+
+// Re-exported deployment-spec vocabulary (see internal/spec): one
+// description of an n-tier system, its traffic forecast, and its SLO,
+// shared by the capacity planner, the simulator (Config.FromSpec /
+// Config.Spec), and the live victim daemon.
+type (
+	// SystemSpec describes an n-tier deployment as per-replica templates.
+	SystemSpec = spec.System
+	// TierSpec is one tier's template (threads, servers, service time).
+	TierSpec = spec.TierSpec
+	// TrafficSpec is a closed-loop population plus a forecast shape.
+	TrafficSpec = spec.Traffic
+	// SLOSpec is the objective a sizing must hold.
+	SLOSpec = spec.SLO
+)
+
+// Re-exported capacity-planner types (see internal/plan).
+type (
+	// PlanRequest is one sizing problem for PlanSizing.
+	PlanRequest = plan.Request
+	// PlanResult is the planner's verdict: the cheapest feasible sizing,
+	// its assessment, sustainable-rate ceilings, and the minimality
+	// witness.
+	PlanResult = plan.Result
+	// PlanOptions cap the sizing search.
+	PlanOptions = plan.Options
+	// PlanAdversary bounds the attacker the planner sizes against.
+	PlanAdversary = plan.Adversary
+	// PlanAssessment is the oracle's verdict on one sizing.
+	PlanAssessment = plan.Assessment
+	// PlanSizingChoice is one point of the sizing search space.
+	PlanSizingChoice = plan.Sizing
+)
+
+// ErrInfeasible marks analytical problems with no feasible answer: an
+// attack goal no parameters meet, or a model whose offered load already
+// exceeds a tier's attack-free capacity (check with errors.Is).
+var ErrInfeasible = analytical.ErrInfeasible
+
+// ErrNoFeasibleSizing marks planning problems no sizing within the
+// search caps solves (check with errors.Is).
+var ErrNoFeasibleSizing = plan.ErrNoFeasibleSizing
+
+// RUBBoSSpec returns the per-replica tier templates of the paper's
+// RUBBoS deployment — the spec-level twin of the default Config topology.
+func RUBBoSSpec() SystemSpec { return spec.RUBBoSSystem() }
+
+// RUBBoSTrafficSpec returns the paper's evaluation population (3500
+// clients, 7 s think) as a flat-forecast traffic spec.
+func RUBBoSTrafficSpec() TrafficSpec { return spec.RUBBoSTraffic() }
+
+// DefaultSLO returns the default provisioning objective: p99 under
+// 500 ms with at most 1% of requests dropped.
+func DefaultSLO() SLOSpec { return spec.DefaultSLO() }
+
+// DefaultPlanAdversary returns the stealthy attacker the planner sizes
+// against by default.
+func DefaultPlanAdversary() PlanAdversary { return plan.DefaultAdversary() }
+
+// PlanSizing inverts the analytical model into a capacity plan: the
+// cheapest replica counts and thread-pool scales that hold the SLO both
+// attack-free and under the worst-case stealthy MemCA burst train.
+func PlanSizing(req PlanRequest) (PlanResult, error) { return plan.Solve(req) }
 
 // Environments.
 const (
