@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-budget test race equivalence fuzz bench bench-baseline bench-smoke figures quick-figures trace demo demo-smoke plan-smoke clean
+.PHONY: all build vet lint lint-budget test race equivalence dsweep-smoke fuzz bench bench-baseline bench-smoke figures quick-figures trace demo demo-smoke plan-smoke clean
 
 all: build vet lint test
 
@@ -33,9 +33,17 @@ race:
 
 # Parallel-vs-serial determinism proof: every sweep-converted driver and
 # the replication helper must produce identical results and byte-identical
-# CSV artifacts for workers 1, 4, and 8 (quick horizons).
+# CSV artifacts for workers 1, 4, and 8 (quick horizons); the dsweep
+# fabric additionally proves shards 1/2/4/8 and kill+resume byte-identical
+# to the in-process path.
 equivalence:
-	$(GO) test -run 'TestSweepWorkerEquivalence|TestSweepProgressTotals|TestReplicateWorkerEquivalence' -v ./internal/figures ./internal/core
+	$(GO) test -run 'TestSweepWorkerEquivalence|TestSweepProgressTotals|TestReplicateWorkerEquivalence|TestDistShardEquivalence|TestDistKillResumeEquivalence' -v ./internal/figures ./internal/core
+
+# Distributed-sweep smoke: coordinate a quick Fig2 across 3 worker
+# subprocesses, kill one mid-run, resume, and diff the merged artifact
+# and CSVs against a single-process run — any byte of divergence fails.
+dsweep-smoke:
+	$(GO) run ./cmd/memca-sweep smoke
 
 # Short fuzz passes over the file-facing config schema and the stats
 # kernels (seed corpora are checked in under the packages'

@@ -29,16 +29,24 @@ func main() {
 }
 
 func run() error {
+	if worker, err := maybeRunWorker(); worker {
+		return err
+	}
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2, 3, 6, 7, 8, 9, 10, 11, table1, ablations, defense, evasion, detectors, crowd, attribution, planner, all")
-		out      = flag.String("out", "out", "output directory for CSV artifacts")
-		quick    = flag.Bool("quick", false, "shorter horizons for a smoke run")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "worker count for a driver's independent runs (1 = serial; artifacts are identical either way)")
+		fig         = flag.String("fig", "all", "figure to regenerate: 2, 3, 6, 7, 8, 9, 10, 11, table1, ablations, defense, evasion, detectors, crowd, attribution, planner, all")
+		out         = flag.String("out", "out", "output directory for CSV artifacts")
+		quick       = flag.Bool("quick", false, "shorter horizons for a smoke run")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		parallel    = flag.Int("parallel", runtime.NumCPU(), "worker count for a driver's independent runs (1 = serial; artifacts are identical either way)")
+		shards      = flag.Int("shards", 1, "run -fig 2, planner, or ablations sharded over this many worker subprocesses (artifacts are byte-identical to -shards 1)")
+		manifestOut = flag.String("manifest-out", "", "write dsweep manifests for -fig into this directory and exit (run them with memca-sweep)")
 	)
 	flag.Parse()
 
 	opts := figures.Options{OutDir: *out, Quick: *quick, Seed: *seed, Parallel: *parallel}
+	if *shards > 1 || *manifestOut != "" {
+		return runDistributedBench(*fig, opts, *shards, *manifestOut)
+	}
 	opts.Progress = func(done, total int) {
 		fmt.Fprintf(os.Stderr, "    run %d/%d\n", done, total)
 	}

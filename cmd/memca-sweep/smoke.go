@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"memca/internal/dsweep"
+	"memca/internal/dsweep/coord"
+	"memca/internal/figures"
+)
+
+// cmdSmoke is the CI smoke for the fabric: a quick Fig2 coordinated
+// across 3 worker subprocesses, with one worker killed mid-run
+// (deterministically, via -crash-after), then resumed; the merged
+// artifact and CSVs are diffed against a single-process run. Any
+// divergence — bytes or scalars — fails the command.
+func cmdSmoke(args []string) error {
+	fs := flag.NewFlagSet("smoke", flag.ExitOnError)
+	var (
+		dir  = fs.String("dir", "", "scratch directory (default: a fresh temp dir)")
+		keep = fs.Bool("keep", false, "keep the scratch directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scratch := *dir
+	if scratch == "" {
+		var err error
+		scratch, err = os.MkdirTemp("", "memca-dsweep-smoke")
+		if err != nil {
+			return err
+		}
+	}
+	if !*keep {
+		defer func() {
+			if rerr := os.RemoveAll(scratch); rerr != nil {
+				fmt.Fprintln(os.Stderr, "memca-sweep: cleaning scratch:", rerr)
+			}
+		}()
+	}
+
+	const shards = 3
+	manifestPath := filepath.Join(scratch, "manifest.json")
+	distOut := filepath.Join(scratch, "out-dist")
+	opts := figures.Options{OutDir: distOut, Quick: true, Seed: 1}
+	m, err := figures.NewManifest("fig2", opts, shards, filepath.Join(scratch, "artifacts"))
+	if err != nil {
+		return err
+	}
+	m.FsyncEvery = 1
+	if err := dsweep.WriteManifest(manifestPath, m); err != nil {
+		return err
+	}
+	fmt.Printf("smoke: %d jobs over %d shards under %s\n", m.Jobs, m.Shards, scratch)
+
+	// Round 1: shard 0's worker is killed right after its durable header
+	// (-crash-after 0), with no retries — the coordinated run must fail.
+	fmt.Println("smoke: round 1 — killing shard 0's worker mid-run")
+	err = coord.Run(context.Background(), coord.Options{
+		Manifest: m,
+		Worker: func(shard int) (*exec.Cmd, error) {
+			crash := -1
+			if shard == 0 {
+				crash = 0
+			}
+			return selfWorker(manifestPath, shard, crash)
+		},
+		Poll: time.Second,
+		Log:  os.Stderr,
+	})
+	if err == nil {
+		return fmt.Errorf("smoke: round 1 succeeded despite the killed worker")
+	}
+	fmt.Printf("smoke: round 1 failed as intended: %v\n", err)
+	if _, err := os.Stat(m.MergedPath()); !os.IsNotExist(err) {
+		return fmt.Errorf("smoke: merged artifact exists after the failed round (stat: %v)", err)
+	}
+
+	// Round 2: resume. Complete shards are skipped, the killed shard picks
+	// up from its checkpoint, and the merge runs.
+	fmt.Println("smoke: round 2 — resuming")
+	err = coord.Run(context.Background(), coord.Options{
+		Manifest: m,
+		Worker:   func(shard int) (*exec.Cmd, error) { return selfWorker(manifestPath, shard, -1) },
+		Poll:     time.Second,
+		Log:      os.Stderr,
+	})
+	if err != nil {
+		return fmt.Errorf("smoke: resume: %w", err)
+	}
+	distRes, distSummary, err := figures.RunDistributed(m)
+	if err != nil {
+		return err
+	}
+	fmt.Println("smoke:", distSummary)
+
+	// Reference 1: the same driver through a 1-shard fabric run in this
+	// process. Its merged artifact must be byte-identical to the 3-shard,
+	// kill-and-resume one.
+	ref := *m
+	ref.Shards = 1
+	ref.ArtifactDir = filepath.Join(scratch, "artifacts-ref")
+	ref.Hash = ref.ComputeHash()
+	if err := figures.RunShard(context.Background(), &ref, 0, dsweep.ShardOptions{}); err != nil {
+		return fmt.Errorf("smoke: reference shard: %w", err)
+	}
+	if err := dsweep.Merge(&ref); err != nil {
+		return err
+	}
+	distBytes, err := os.ReadFile(m.MergedPath())
+	if err != nil {
+		return err
+	}
+	refBytes, err := os.ReadFile(ref.MergedPath())
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(distBytes, refBytes) {
+		return fmt.Errorf("smoke: merged artifact differs between 3 shards (killed+resumed) and 1 shard: %d vs %d bytes", len(distBytes), len(refBytes))
+	}
+	fmt.Printf("smoke: merged artifacts byte-identical across shard counts (%d bytes)\n", len(distBytes))
+
+	// Reference 2: the plain in-process figure function. Its CSVs and
+	// scalars must match the distributed run's exactly.
+	singleOut := filepath.Join(scratch, "out-single")
+	singleRes, err := figures.Fig2(figures.Options{OutDir: singleOut, Quick: true, Seed: 1})
+	if err != nil {
+		return err
+	}
+	dist := distRes.(*figures.Fig2Result)
+	if dist.AmplificationOK != singleRes.AmplificationOK ||
+		fmt.Sprint(dist.ClientP95) != fmt.Sprint(singleRes.ClientP95) ||
+		fmt.Sprint(dist.ClientP98) != fmt.Sprint(singleRes.ClientP98) {
+		return fmt.Errorf("smoke: distributed scalars %+v differ from single-process %+v", dist, singleRes)
+	}
+	entries, err := os.ReadDir(singleOut)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("smoke: single-process run wrote no CSVs under %s", singleOut)
+	}
+	for _, e := range entries {
+		want, err := os.ReadFile(filepath.Join(singleOut, e.Name()))
+		if err != nil {
+			return err
+		}
+		got, err := os.ReadFile(filepath.Join(distOut, e.Name()))
+		if err != nil {
+			return fmt.Errorf("smoke: distributed run is missing CSV %s: %w", e.Name(), err)
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("smoke: %s differs between distributed and single-process runs", e.Name())
+		}
+		fmt.Printf("smoke: %s byte-identical (%d bytes)\n", e.Name(), len(want))
+	}
+	fmt.Println("smoke: PASS — kill/resume across 3 shards matches single-process byte for byte")
+	return nil
+}

@@ -1,0 +1,263 @@
+package coord_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"memca/internal/dsweep"
+	"memca/internal/dsweep/coord"
+	"memca/internal/sweep"
+)
+
+// The coordinator tests exercise real subprocesses by re-executing this
+// test binary: TestMain diverts into workerMain when the manifest env var
+// is set, so each spawned "worker" runs dsweep.RunShard on a synthetic
+// job in its own process, exactly like a production worker would.
+const (
+	envManifest = "MEMCA_COORD_TEST_MANIFEST"
+	envShard    = "MEMCA_COORD_TEST_SHARD"
+	envCrash    = "MEMCA_COORD_TEST_CRASH"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(envManifest) != "" {
+		os.Exit(workerMain())
+	}
+	os.Exit(m.Run())
+}
+
+func workerMain() int {
+	m, err := dsweep.LoadManifest(os.Getenv(envManifest))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	shard, err := strconv.Atoi(os.Getenv(envShard))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad shard env:", err)
+		return 1
+	}
+	opts := dsweep.ShardOptions{}
+	if budget := os.Getenv(envCrash); budget != "" {
+		n, err := strconv.Atoi(budget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad crash env:", err)
+			return 1
+		}
+		opts.InjectCrash = true
+		opts.MaxRecords = n
+	}
+	if err := dsweep.RunShard(context.Background(), m, shard, syntheticJob(m), opts); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// syntheticJob derives a deterministic payload from the manifest seed and
+// the job index — the same function the in-test reference uses, so merged
+// bytes can be compared exactly.
+func syntheticJob(m *dsweep.Manifest) dsweep.Job {
+	return func(_ context.Context, index int) ([]byte, error) {
+		seed := sweep.DeriveSeed(m.Seed, index)
+		return []byte(fmt.Sprintf("job %d seed %x", index, seed)), nil
+	}
+}
+
+func testManifest(t *testing.T, jobs, shards int) *dsweep.Manifest {
+	t.Helper()
+	dir := t.TempDir()
+	m := &dsweep.Manifest{
+		Figure:      "coord-test",
+		Jobs:        jobs,
+		Shards:      shards,
+		Seed:        4242,
+		ArtifactDir: filepath.Join(dir, "artifacts"),
+		FsyncEvery:  1,
+	}
+	if err := dsweep.WriteManifest(filepath.Join(dir, "manifest.json"), m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func manifestPath(m *dsweep.Manifest) string {
+	return filepath.Join(filepath.Dir(m.ArtifactDir), "manifest.json")
+}
+
+// workerCmd re-executes the test binary in worker mode for one shard.
+// crashBudget >= 0 injects a crash after that many records.
+func workerCmd(m *dsweep.Manifest, shard, crashBudget int) *exec.Cmd {
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		envManifest+"="+manifestPath(m),
+		envShard+"="+strconv.Itoa(shard),
+	)
+	if crashBudget >= 0 {
+		cmd.Env = append(cmd.Env, envCrash+"="+strconv.Itoa(crashBudget))
+	}
+	return cmd
+}
+
+// referenceBytes is what a single-process run of the same jobs encodes to.
+func referenceBytes(t *testing.T, m *dsweep.Manifest) []byte {
+	t.Helper()
+	job := syntheticJob(m)
+	payloads := make([][]byte, m.Jobs)
+	for i := range payloads {
+		p, err := job(context.Background(), i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads[i] = p
+	}
+	return sweep.EncodeRecords(payloads)
+}
+
+func TestCoordinatorRunsAllShardsAndMerges(t *testing.T) {
+	m := testManifest(t, 13, 3)
+	var log bytes.Buffer
+	err := coord.Run(context.Background(), coord.Options{
+		Manifest: m,
+		Worker:   func(shard int) (*exec.Cmd, error) { return workerCmd(m, shard, -1), nil },
+		Log:      &log,
+	})
+	if err != nil {
+		t.Fatalf("coord.Run: %v\nlog:\n%s", err, log.String())
+	}
+	merged, err := os.ReadFile(m.MergedPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := referenceBytes(t, m); !bytes.Equal(merged, want) {
+		t.Fatalf("merged artifact differs from single-process reference (%d vs %d bytes)", len(merged), len(want))
+	}
+}
+
+func TestCoordinatorRetriesDeadWorker(t *testing.T) {
+	m := testManifest(t, 12, 3)
+	// Shard 1's first attempt dies after 2 records; the retry must resume
+	// from the durable checkpoint and finish the shard. The Worker builder
+	// is called from per-shard goroutines, so the counter needs a lock.
+	var mu sync.Mutex
+	attempts := make(map[int]int)
+	var log bytes.Buffer
+	err := coord.Run(context.Background(), coord.Options{
+		Manifest: m,
+		Retries:  1,
+		Worker: func(shard int) (*exec.Cmd, error) {
+			mu.Lock()
+			attempts[shard]++
+			first := attempts[shard] == 1
+			mu.Unlock()
+			if shard == 1 && first {
+				return workerCmd(m, shard, 2), nil
+			}
+			return workerCmd(m, shard, -1), nil
+		},
+		Log: &log,
+	})
+	if err != nil {
+		t.Fatalf("coord.Run: %v\nlog:\n%s", err, log.String())
+	}
+	if attempts[1] != 2 {
+		t.Fatalf("shard 1 ran %d attempts, want 2", attempts[1])
+	}
+	merged, err := os.ReadFile(m.MergedPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := referenceBytes(t, m); !bytes.Equal(merged, want) {
+		t.Fatal("merged artifact after retry differs from single-process reference")
+	}
+	if !strings.Contains(log.String(), "retrying from checkpoint") {
+		t.Fatalf("log does not mention the retry:\n%s", log.String())
+	}
+}
+
+func TestCoordinatorGivesUpAfterRetries(t *testing.T) {
+	m := testManifest(t, 9, 3)
+	var log bytes.Buffer
+	err := coord.Run(context.Background(), coord.Options{
+		Manifest: m,
+		Retries:  1,
+		Worker: func(shard int) (*exec.Cmd, error) {
+			if shard == 2 {
+				return workerCmd(m, shard, 1), nil // dies every attempt
+			}
+			return workerCmd(m, shard, -1), nil
+		},
+		Log: &log,
+	})
+	if err == nil {
+		t.Fatal("coord.Run succeeded with a permanently dying shard")
+	}
+	if !strings.Contains(err.Error(), "shard 2 dead after 2 attempt(s)") {
+		t.Fatalf("error does not describe the dead shard: %v", err)
+	}
+	if _, statErr := os.Stat(m.MergedPath()); !os.IsNotExist(statErr) {
+		t.Fatalf("merged artifact exists after failed run (stat err: %v)", statErr)
+	}
+}
+
+func TestCoordinatorResumeSkipsCompleteShards(t *testing.T) {
+	m := testManifest(t, 10, 2)
+	// Complete shard 0 in-process first; the coordinator must only spawn
+	// a worker for shard 1.
+	if err := dsweep.RunShard(context.Background(), m, 0, syntheticJob(m), dsweep.ShardOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	spawned := make(map[int]int)
+	err := coord.Run(context.Background(), coord.Options{
+		Manifest: m,
+		Worker: func(shard int) (*exec.Cmd, error) {
+			mu.Lock()
+			spawned[shard]++
+			mu.Unlock()
+			return workerCmd(m, shard, -1), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spawned[0] != 0 || spawned[1] != 1 {
+		t.Fatalf("spawn counts = %v, want shard 0 skipped and shard 1 run once", spawned)
+	}
+	merged, err := os.ReadFile(m.MergedPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := referenceBytes(t, m); !bytes.Equal(merged, want) {
+		t.Fatal("merged artifact differs from single-process reference")
+	}
+}
+
+func TestCoordinatorAllShardsAlreadyComplete(t *testing.T) {
+	m := testManifest(t, 6, 2)
+	for s := 0; s < m.Shards; s++ {
+		if err := dsweep.RunShard(context.Background(), m, s, syntheticJob(m), dsweep.ShardOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := coord.Run(context.Background(), coord.Options{
+		Manifest: m,
+		Worker: func(shard int) (*exec.Cmd, error) {
+			return nil, fmt.Errorf("no worker should be spawned")
+		},
+	})
+	if err != nil {
+		t.Fatalf("coord.Run on fully complete shards: %v", err)
+	}
+	if _, err := dsweep.ReadMerged(m); err != nil {
+		t.Fatal(err)
+	}
+}

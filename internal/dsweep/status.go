@@ -1,0 +1,104 @@
+package dsweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Checkpoint is the progress sidecar a worker refreshes at every fsync
+// batch. It exists for monitoring only — the coordinator and the status
+// subcommand read it cheaply instead of scanning artifacts — and is
+// written atomically so readers never see a torn file. Recovery truth
+// always lives in the artifact itself; a stale or missing sidecar is
+// never an error.
+type Checkpoint struct {
+	// Shard is the shard number.
+	Shard int `json:"shard"`
+	// Done and Total are the shard's completed and owned job counts.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// LastIndex is the global index of the most recent durable record,
+	// -1 when none.
+	LastIndex int `json:"last_index"`
+	// Hash is the manifest content hash, so a sidecar from another
+	// manifest is ignored rather than trusted.
+	Hash string `json:"hash"`
+}
+
+// writeCheckpoint refreshes the shard's sidecar from its durable state.
+func writeCheckpoint(m *Manifest, state *ShardState) error {
+	ck := Checkpoint{
+		Shard:     state.Shard,
+		Done:      state.Done,
+		Total:     len(state.Indices),
+		LastIndex: state.LastIndex(),
+		Hash:      m.Hash,
+	}
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("dsweep: marshaling checkpoint for shard %d: %w", state.Shard, err)
+	}
+	return atomicWrite(m.CheckpointPath(state.Shard), append(data, '\n'))
+}
+
+// ShardProgress is one shard's view in a Status report.
+type ShardProgress struct {
+	// Shard is the shard number; Done and Total its job counts.
+	Shard int
+	Done  int
+	Total int
+	// LastIndex is the most recently completed global job index, -1
+	// when none.
+	LastIndex int
+	// FromCheckpoint reports whether the numbers came from the cheap
+	// sidecar (possibly a batch behind the artifact) or from a full
+	// artifact scan.
+	FromCheckpoint bool
+	// CheckpointPath is the sidecar file when one was used; callers that
+	// want a staleness age stat it — this package never reads the clock.
+	CheckpointPath string
+}
+
+// Status reports per-shard progress for a manifest. It prefers the
+// checkpoint sidecars (cheap, refreshed every fsync batch) and falls back
+// to scanning the shard artifact when a sidecar is missing or belongs to
+// a different manifest.
+func Status(m *Manifest) ([]ShardProgress, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	progress := make([]ShardProgress, m.Shards)
+	for s := 0; s < m.Shards; s++ {
+		p := ShardProgress{Shard: s, LastIndex: -1}
+		ckPath := m.CheckpointPath(s)
+		if ck, err := readCheckpoint(ckPath); err == nil && ck.Hash == m.Hash && ck.Shard == s {
+			p.Done, p.Total, p.LastIndex = ck.Done, ck.Total, ck.LastIndex
+			p.FromCheckpoint = true
+			p.CheckpointPath = ckPath
+		} else {
+			state, err := RecoverShard(m, s)
+			if err != nil {
+				return nil, err
+			}
+			p.Done, p.Total, p.LastIndex = state.Done, len(state.Indices), state.LastIndex()
+		}
+		progress[s] = p
+	}
+	return progress, nil
+}
+
+// readCheckpoint loads a sidecar; any failure just means "fall back to
+// the artifact".
+func readCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{}
+	if err := json.Unmarshal(data, ck); err != nil {
+		return nil, errors.Join(fmt.Errorf("dsweep: parsing checkpoint %s", path), err)
+	}
+	return ck, nil
+}

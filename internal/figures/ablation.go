@@ -79,20 +79,90 @@ type attackVariant struct {
 	mutate func(*core.Config)
 }
 
-// runAttackVariants fans a sweep's independent experiment runs over the
-// sweep engine; points come back in variant order.
-func runAttackVariants(opts Options, variants []attackVariant) ([]AblationPoint, error) {
-	return runArenaJobs(opts, len(variants), func(a *stats.Arena, i int) (AblationPoint, error) {
-		return runAttackVariant(opts, a, variants[i].label, variants[i].mutate)
-	})
+// newVariantRun builds the DistRun for a closed-loop ablation sweep: one
+// job per variant, each an AblationPoint record; the finalizer assembles
+// the result in variant order and writes the sweep's CSV. AblationPoint
+// has no map fields, so its gob encoding is stable (see encodeRecord).
+func newVariantRun(opts Options, name, csv string, variants []attackVariant) *DistRun {
+	return &DistRun{
+		Jobs: len(variants),
+		Job: func(a *stats.Arena, i int) ([]byte, error) {
+			p, err := runAttackVariant(opts, a, variants[i].label, variants[i].mutate)
+			if err != nil {
+				return nil, err
+			}
+			return encodeRecord(p)
+		},
+		Finalize: newAblationFinalize(opts, name, csv),
+	}
 }
 
-// AblationBurstLength sweeps the burst length L at fixed I = 2 s: the
-// damage-vs-stealth trade-off of Equations (7) and (10). Short bursts
-// never complete the build-up stage (no damage); long bursts raise the
-// coarse utilization toward detectability.
-func AblationBurstLength(opts Options) (*AblationResult, error) {
-	res := &AblationResult{Name: "burst-length"}
+// newAblationFinalize decodes AblationPoint records in variant order,
+// writes the sweep CSV, and summarizes the damage range.
+func newAblationFinalize(opts Options, name, csv string) func([][]byte) (any, string, error) {
+	return func(payloads [][]byte) (any, string, error) {
+		res := &AblationResult{Name: name, Points: make([]AblationPoint, len(payloads))}
+		for i, data := range payloads {
+			if err := decodeRecord(data, &res.Points[i]); err != nil {
+				return nil, "", err
+			}
+		}
+		if err := writeAblation(opts, csv, res); err != nil {
+			return nil, "", err
+		}
+		lo, hi := time.Duration(0), time.Duration(0)
+		for i, p := range res.Points {
+			if i == 0 || p.ClientP95 < lo {
+				lo = p.ClientP95
+			}
+			if p.ClientP95 > hi {
+				hi = p.ClientP95
+			}
+		}
+		summary := fmt.Sprintf("ablation %s: %d points, client p95 %v..%v", name, len(res.Points), lo, hi)
+		return res, summary, nil
+	}
+}
+
+// The closed-loop ablation sweeps, as (name, csv, variant builder)
+// rows; each registers a dist driver named "ablation-<name>" and backs
+// the corresponding Ablation* function.
+var ablationSweeps = []struct {
+	name     string
+	csv      string
+	variants func() []attackVariant
+}{
+	{"burst-length", "ablation_burst_length.csv", burstLengthVariants},
+	{"interval", "ablation_interval.csv", intervalVariants},
+	{"adversaries", "ablation_adversaries.csv", adversariesVariants},
+	{"load", "ablation_load.csv", loadVariants},
+	{"service-distribution", "ablation_service_distribution.csv", serviceDistributionVariants},
+}
+
+func init() {
+	for _, ab := range ablationSweeps {
+		ab := ab
+		registerDist(DistDriver{
+			Name: "ablation-" + ab.name,
+			New: func(o Options) (*DistRun, error) {
+				return newVariantRun(o, ab.name, ab.csv, ab.variants()), nil
+			},
+		})
+	}
+	registerDist(DistDriver{Name: "ablation-mechanisms", New: newMechanismsRun})
+}
+
+// runAblation executes one registered ablation driver fully in-process.
+func runAblation(driver string, opts Options) (*AblationResult, error) {
+	res, _, err := runDistLocal(driver, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.(*AblationResult), nil
+}
+
+// burstLengthVariants sweeps the burst length L at fixed I = 2 s.
+func burstLengthVariants() []attackVariant {
 	var variants []attackVariant
 	for _, l := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 350 * time.Millisecond, 500 * time.Millisecond, 800 * time.Millisecond} {
 		l := l
@@ -100,18 +170,19 @@ func AblationBurstLength(opts Options) (*AblationResult, error) {
 			c.Attack.Params.BurstLength = l
 		}})
 	}
-	points, err := runAttackVariants(opts, variants)
-	if err != nil {
-		return nil, err
-	}
-	res.Points = points
-	return res, writeAblation(opts, "ablation_burst_length.csv", res)
+	return variants
 }
 
-// AblationInterval sweeps the burst interval I at fixed L = 500 ms: the
-// frequency axis of Equation (8), ρ = P_D / I.
-func AblationInterval(opts Options) (*AblationResult, error) {
-	res := &AblationResult{Name: "interval"}
+// AblationBurstLength sweeps the burst length L at fixed I = 2 s: the
+// damage-vs-stealth trade-off of Equations (7) and (10). Short bursts
+// never complete the build-up stage (no damage); long bursts raise the
+// coarse utilization toward detectability.
+func AblationBurstLength(opts Options) (*AblationResult, error) {
+	return runAblation("ablation-burst-length", opts)
+}
+
+// intervalVariants sweeps the burst interval I at fixed L = 500 ms.
+func intervalVariants() []attackVariant {
 	var variants []attackVariant
 	for _, iv := range []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second} {
 		iv := iv
@@ -119,31 +190,21 @@ func AblationInterval(opts Options) (*AblationResult, error) {
 			c.Attack.Params.Interval = iv
 		}})
 	}
-	points, err := runAttackVariants(opts, variants)
-	if err != nil {
-		return nil, err
-	}
-	res.Points = points
-	return res, writeAblation(opts, "ablation_interval.csv", res)
+	return variants
 }
 
-// AblationMechanisms removes the three amplification mechanisms one at a
-// time, quantifying each one's contribution to the client tail:
-//
-//   - "full": the complete model (slot-holding, finite queues, TCP
-//     retransmission);
-//   - "no-retransmit": drops are final — the RTO floor disappears from
-//     the client tail;
-//   - "infinite-queues": nothing is ever dropped — only queueing delay
-//     remains;
-//   - "no-slot-holding": tandem coupling — overflow cannot propagate.
-//
-// It uses the model-level network (open-loop arrivals) so the mechanisms
-// can be toggled independently of the closed-loop client population.
-func AblationMechanisms(opts Options) (*AblationResult, error) {
+// AblationInterval sweeps the burst interval I at fixed L = 500 ms: the
+// frequency axis of Equation (8), ρ = P_D / I.
+func AblationInterval(opts Options) (*AblationResult, error) {
+	return runAblation("ablation-interval", opts)
+}
+
+// newMechanismsRun prepares the mechanism-removal ablation, which uses
+// the model-level network (open-loop arrivals) so the mechanisms can be
+// toggled independently of the closed-loop client population.
+func newMechanismsRun(opts Options) (*DistRun, error) {
 	d, params := fig6Attack()
 	horizon := opts.duration(2 * time.Minute)
-	res := &AblationResult{Name: "mechanisms"}
 
 	type variant struct {
 		label      string
@@ -158,36 +219,46 @@ func AblationMechanisms(opts Options) (*AblationResult, error) {
 		{"no-slot-holding", queueing.ModeTandem, true, false},
 	}
 	m := rubbosModelLimits()
-	points, err := runArenaJobs(opts, len(variants), func(a *stats.Arena, i int) (AblationPoint, error) {
-		v := variants[i]
-		limits := m
-		if v.infinite {
-			limits = [3]int{queueing.Infinite, queueing.Infinite, queueing.Infinite}
-		}
-		e := sim.NewEngine(opts.Seed)
-		n, sources, err := buildModelNetwork(e, a, v.mode, limits, v.retransmit)
-		if err != nil {
-			return AblationPoint{}, fmt.Errorf("figures: ablation %s: %w", v.label, err)
-		}
-		point, err := runModelAttack(e, n, sources, d, params, horizon)
-		if err != nil {
-			return AblationPoint{}, fmt.Errorf("figures: ablation %s: %w", v.label, err)
-		}
-		point.Label = v.label
-		return point, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.Points = points
-	return res, writeAblation(opts, "ablation_mechanisms.csv", res)
+	return &DistRun{
+		Jobs: len(variants),
+		Job: func(a *stats.Arena, i int) ([]byte, error) {
+			v := variants[i]
+			limits := m
+			if v.infinite {
+				limits = [3]int{queueing.Infinite, queueing.Infinite, queueing.Infinite}
+			}
+			e := sim.NewEngine(opts.Seed)
+			n, sources, err := buildModelNetwork(e, a, v.mode, limits, v.retransmit)
+			if err != nil {
+				return nil, fmt.Errorf("figures: ablation %s: %w", v.label, err)
+			}
+			point, err := runModelAttack(e, n, sources, d, params, horizon)
+			if err != nil {
+				return nil, fmt.Errorf("figures: ablation %s: %w", v.label, err)
+			}
+			point.Label = v.label
+			return encodeRecord(point)
+		},
+		Finalize: newAblationFinalize(opts, "mechanisms", "ablation_mechanisms.csv"),
+	}, nil
 }
 
-// AblationAdversaries sweeps the number of co-located adversary VMs for
-// the bus-saturation attack (the lock attack needs only one, which is the
-// paper's point; saturation needs many to bite).
-func AblationAdversaries(opts Options) (*AblationResult, error) {
-	res := &AblationResult{Name: "adversaries"}
+// AblationMechanisms removes the three amplification mechanisms one at a
+// time, quantifying each one's contribution to the client tail:
+//
+//   - "full": the complete model (slot-holding, finite queues, TCP
+//     retransmission);
+//   - "no-retransmit": drops are final — the RTO floor disappears from
+//     the client tail;
+//   - "infinite-queues": nothing is ever dropped — only queueing delay
+//     remains;
+//   - "no-slot-holding": tandem coupling — overflow cannot propagate.
+func AblationMechanisms(opts Options) (*AblationResult, error) {
+	return runAblation("ablation-mechanisms", opts)
+}
+
+// adversariesVariants sweeps the co-located adversary VM count.
+func adversariesVariants() []attackVariant {
 	var variants []attackVariant
 	for _, k := range []int{1, 2, 4} {
 		k := k
@@ -202,19 +273,18 @@ func AblationAdversaries(opts Options) (*AblationResult, error) {
 			c.Attack.AdversaryVMs = k
 		}})
 	}
-	points, err := runAttackVariants(opts, variants)
-	if err != nil {
-		return nil, err
-	}
-	res.Points = points
-	return res, writeAblation(opts, "ablation_adversaries.csv", res)
+	return variants
 }
 
-// AblationLoad sweeps the legitimate client population: condition 2
-// (λ_n > C_n,ON) needs enough background load for the degraded bottleneck
-// to overflow, so a lightly loaded system resists the same attack.
-func AblationLoad(opts Options) (*AblationResult, error) {
-	res := &AblationResult{Name: "load"}
+// AblationAdversaries sweeps the number of co-located adversary VMs for
+// the bus-saturation attack (the lock attack needs only one, which is the
+// paper's point; saturation needs many to bite).
+func AblationAdversaries(opts Options) (*AblationResult, error) {
+	return runAblation("ablation-adversaries", opts)
+}
+
+// loadVariants sweeps the legitimate client population.
+func loadVariants() []attackVariant {
 	var variants []attackVariant
 	for _, clients := range []int{875, 1750, 3500, 5000} {
 		clients := clients
@@ -222,21 +292,19 @@ func AblationLoad(opts Options) (*AblationResult, error) {
 			c.Clients = clients
 		}})
 	}
-	points, err := runAttackVariants(opts, variants)
-	if err != nil {
-		return nil, err
-	}
-	res.Points = points
-	return res, writeAblation(opts, "ablation_load.csv", res)
+	return variants
 }
 
-// AblationServiceDistribution swaps the per-tier service-time
-// distributions (the paper assumes exponential capacities) and reruns the
-// attack: tail amplification should be robust to the distributional
-// assumption because it is driven by capacity starvation and drops, not
-// by service-time variance.
-func AblationServiceDistribution(opts Options) (*AblationResult, error) {
-	res := &AblationResult{Name: "service-distribution"}
+// AblationLoad sweeps the legitimate client population: condition 2
+// (λ_n > C_n,ON) needs enough background load for the degraded bottleneck
+// to overflow, so a lightly loaded system resists the same attack.
+func AblationLoad(opts Options) (*AblationResult, error) {
+	return runAblation("ablation-load", opts)
+}
+
+// serviceDistributionVariants swaps the per-tier service-time
+// distributions.
+func serviceDistributionVariants() []attackVariant {
 	base := workload.RUBBoSTiers()
 	variants := []struct {
 		label string
@@ -260,12 +328,16 @@ func AblationServiceDistribution(opts Options) (*AblationResult, error) {
 			c.Tiers = tiers
 		}})
 	}
-	points, err := runAttackVariants(opts, cells)
-	if err != nil {
-		return nil, err
-	}
-	res.Points = points
-	return res, writeAblation(opts, "ablation_service_distribution.csv", res)
+	return cells
+}
+
+// AblationServiceDistribution swaps the per-tier service-time
+// distributions (the paper assumes exponential capacities) and reruns the
+// attack: tail amplification should be robust to the distributional
+// assumption because it is driven by capacity starvation and drops, not
+// by service-time variance.
+func AblationServiceDistribution(opts Options) (*AblationResult, error) {
+	return runAblation("ablation-service-distribution", opts)
 }
 
 func writeAblation(opts Options, name string, res *AblationResult) error {

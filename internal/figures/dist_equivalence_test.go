@@ -1,0 +1,223 @@
+package figures
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"memca/internal/dsweep"
+	"memca/internal/sweep"
+)
+
+// distEquivalenceDrivers are the drivers the sharded-vs-local contract is
+// pinned at: the headline figure, one ablation sweep, and the planner
+// validation (the largest job grid).
+var distEquivalenceDrivers = []string{"fig2", "ablation-interval", "planner"}
+
+// distShardCounts cover the serial case, the power-of-two ladder, and
+// more shards than some drivers have jobs (empty shards must merge too).
+var distShardCounts = []int{1, 2, 4, 8}
+
+// distReference runs a driver fully in-process and returns the canonical
+// merged encoding of its job records plus the scalar fingerprint of its
+// finalized result (CSV artifacts land in o.OutDir).
+func distReference(t *testing.T, name string, o Options) ([]byte, string) {
+	t.Helper()
+	d, ok := LookupDist(name)
+	if !ok {
+		t.Fatalf("no dist driver %q", name)
+	}
+	r, err := d.New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads, err := runArenaJobs(o, r.Jobs, r.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := r.Finalize(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sweep.EncodeRecords(payloads), fingerprint(res)
+}
+
+// writeDistManifest builds and persists a manifest for the driver into a
+// fresh temp dir, returning the stamped (hashed) manifest.
+func writeDistManifest(t *testing.T, name string, o Options, shards int) *dsweep.Manifest {
+	t.Helper()
+	dir := t.TempDir()
+	m, err := NewManifest(name, o, shards, filepath.Join(dir, "artifacts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dsweep.WriteManifest(filepath.Join(dir, "manifest.json"), m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// runAllShards runs every shard of the manifest concurrently (each shard
+// is an independent worker with its own artifact file and arena).
+func runAllShards(t *testing.T, m *dsweep.Manifest) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, m.Shards)
+	for s := 0; s < m.Shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = RunShard(context.Background(), m, s, dsweep.ShardOptions{})
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+	}
+}
+
+// TestDistShardEquivalence pins the fabric's core contract at the figure
+// level: for every shard count, the merged artifact is byte-identical to
+// the canonical encoding of an in-process run, and the finalized scalars
+// and CSV artifacts are identical too. A regression here means the shard
+// plan, the record codec, or a driver's job purity leaked into results.
+func TestDistShardEquivalence(t *testing.T) {
+	for _, name := range distEquivalenceDrivers {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			refDir := t.TempDir()
+			refMerged, refPrint := distReference(t, name, Options{OutDir: refDir, Quick: true, Seed: 7})
+			refFiles := readArtifacts(t, refDir)
+			if len(refFiles) == 0 {
+				t.Fatalf("%s reference run wrote no artifacts", name)
+			}
+			for _, shards := range distShardCounts {
+				outDir := t.TempDir()
+				m := writeDistManifest(t, name, Options{OutDir: outDir, Quick: true, Seed: 7}, shards)
+				runAllShards(t, m)
+				if err := dsweep.Merge(m); err != nil {
+					t.Fatalf("%s with %d shards: merge: %v", name, shards, err)
+				}
+				merged, err := os.ReadFile(m.MergedPath())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(merged, refMerged) {
+					t.Errorf("%s with %d shards: merged artifact differs from in-process run (%d vs %d bytes)",
+						name, shards, len(merged), len(refMerged))
+				}
+				res, _, err := RunDistributed(m)
+				if err != nil {
+					t.Fatalf("%s with %d shards: finalize: %v", name, shards, err)
+				}
+				if got := fingerprint(res); got != refPrint {
+					t.Errorf("%s with %d shards: scalars differ:\n%s\nvs\n%s", name, shards, got, refPrint)
+				}
+				files := readArtifacts(t, outDir)
+				if len(files) != len(refFiles) {
+					t.Errorf("%s with %d shards wrote %d artifacts, in-process wrote %d", name, shards, len(files), len(refFiles))
+				}
+				for fname, ref := range refFiles {
+					got, ok := files[fname]
+					if !ok {
+						t.Errorf("%s with %d shards did not write %s", name, shards, fname)
+						continue
+					}
+					if !bytes.Equal(got, ref) {
+						t.Errorf("%s with %d shards: artifact %s differs from in-process run", name, shards, fname)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDistKillResumeEquivalence kills one worker mid-shard (the
+// deterministic injected crash standing in for kill -9), verifies the
+// partial state refuses to merge, resumes the shard, and requires the
+// final merged artifact and CSVs to be byte-identical to an in-process
+// run — the crash must leave no trace in the results.
+func TestDistKillResumeEquivalence(t *testing.T) {
+	for _, name := range distEquivalenceDrivers {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			refDir := t.TempDir()
+			refMerged, refPrint := distReference(t, name, Options{OutDir: refDir, Quick: true, Seed: 7})
+			refFiles := readArtifacts(t, refDir)
+
+			const shards = 3
+			outDir := t.TempDir()
+			m := writeDistManifest(t, name, Options{OutDir: outDir, Quick: true, Seed: 7}, shards)
+
+			// Kill shard 0 partway: after one record when it owns several
+			// jobs, right after the durable header when it owns one.
+			budget := 0
+			if sweep.ShardSize(m.Jobs, m.Shards, 0) > 1 {
+				budget = 1
+			}
+			err := RunShard(context.Background(), m, 0, dsweep.ShardOptions{InjectCrash: true, MaxRecords: budget})
+			if !errors.Is(err, dsweep.ErrCrashInjected) {
+				t.Fatalf("crashing run returned %v, want ErrCrashInjected", err)
+			}
+			for s := 1; s < shards; s++ {
+				if err := RunShard(context.Background(), m, s, dsweep.ShardOptions{}); err != nil {
+					t.Fatalf("shard %d: %v", s, err)
+				}
+			}
+			if err := dsweep.Merge(m); err == nil {
+				t.Fatal("merge succeeded with a crashed, incomplete shard")
+			}
+
+			// Resume: the worker picks up from the durable checkpoint.
+			recovered := -1
+			err = RunShard(context.Background(), m, 0, dsweep.ShardOptions{
+				Progress: func(done, total int) {
+					if recovered < 0 {
+						recovered = done
+					}
+				},
+			})
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			if budget > 0 && recovered < budget {
+				t.Errorf("resume re-ran checkpointed jobs: first progress %d, want >= %d", recovered, budget)
+			}
+			if err := dsweep.Merge(m); err != nil {
+				t.Fatalf("merge after resume: %v", err)
+			}
+			merged, err := os.ReadFile(m.MergedPath())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(merged, refMerged) {
+				t.Errorf("%s: merged artifact after kill+resume differs from in-process run", name)
+			}
+			res, _, err := RunDistributed(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fingerprint(res); got != refPrint {
+				t.Errorf("%s: scalars after kill+resume differ:\n%s\nvs\n%s", name, got, refPrint)
+			}
+			for fname, ref := range refFiles {
+				got, err := os.ReadFile(filepath.Join(outDir, fname))
+				if err != nil {
+					t.Errorf("%s: missing artifact %s after kill+resume: %v", name, fname, err)
+					continue
+				}
+				if !bytes.Equal(got, ref) {
+					t.Errorf("%s: artifact %s differs after kill+resume", name, fname)
+				}
+			}
+		})
+	}
+}

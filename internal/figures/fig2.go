@@ -2,6 +2,7 @@ package figures
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"memca/internal/core"
@@ -20,60 +21,111 @@ type Fig2Result struct {
 	AmplificationOK bool
 }
 
-// Fig2 runs the paper's headline experiment — the 3-minute RUBBoS run
-// under the memory-lock MemCA attack (I = 2 s, L = 500 ms) — in the EC2
-// and private-cloud parameterizations, and writes one percentile-curve CSV
-// per environment.
-func Fig2(opts Options) (*Fig2Result, error) {
+// fig2Tier is one tier's slice of a fig2 job record.
+type fig2Tier struct {
+	Name  string
+	Curve []time.Duration
+	P95   time.Duration
+}
+
+// fig2Record is one environment's job record: everything Finalize needs
+// to write the environment's CSV and judge amplification. No maps — gob
+// iterates maps in random order, and records must encode to stable bytes.
+type fig2Record struct {
+	Env         string
+	ClientP95   time.Duration
+	ClientP98   time.Duration
+	ClientCurve []time.Duration
+	Tiers       []fig2Tier
+}
+
+func init() {
+	registerDist(DistDriver{Name: "fig2", New: newFig2Run})
+}
+
+// newFig2Run prepares the Figure 2 driver: one job per cloud environment,
+// each running the paper's headline experiment — the 3-minute RUBBoS run
+// under the memory-lock MemCA attack (I = 2 s, L = 500 ms).
+func newFig2Run(opts Options) (*DistRun, error) {
 	if err := checkTiersMatch(); err != nil {
 		return nil, err
 	}
-	res := &Fig2Result{
-		ClientP95:       make(map[string]time.Duration),
-		ClientP98:       make(map[string]time.Duration),
-		AmplificationOK: true,
-	}
 	envs := []core.Env{core.EnvEC2, core.EnvPrivateCloud}
-	reports, err := runArenaJobs(opts, len(envs), func(a *stats.Arena, i int) (*core.Report, error) {
-		env := envs[i]
-		cfg := core.DefaultConfig()
-		cfg.Seed = opts.Seed
-		cfg.Env = env
-		cfg.Duration = opts.duration(3 * time.Minute)
-		cfg.Arena = a // the Report holds only heap copies; see core.Config
-		x, err := core.NewExperiment(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("figures: fig2 %v: %w", env, err)
-		}
-		rep, err := x.Run()
-		if err != nil {
-			return nil, fmt.Errorf("figures: fig2 %v run: %w", env, err)
-		}
-		return rep, nil
-	})
+	return &DistRun{
+		Jobs: len(envs),
+		Job: func(a *stats.Arena, i int) ([]byte, error) {
+			env := envs[i]
+			cfg := core.DefaultConfig()
+			cfg.Seed = opts.Seed
+			cfg.Env = env
+			cfg.Duration = opts.duration(3 * time.Minute)
+			cfg.Arena = a // the Report holds only heap copies; see core.Config
+			x, err := core.NewExperiment(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("figures: fig2 %v: %w", env, err)
+			}
+			rep, err := x.Run()
+			if err != nil {
+				return nil, fmt.Errorf("figures: fig2 %v run: %w", env, err)
+			}
+			rec := fig2Record{
+				Env:         env.String(),
+				ClientP95:   rep.Client.P95,
+				ClientP98:   rep.Client.P98,
+				ClientCurve: rep.ClientCurve,
+			}
+			for _, t := range rep.Tiers {
+				rec.Tiers = append(rec.Tiers, fig2Tier{Name: t.Name, Curve: t.Curve, P95: t.Summary.P95})
+			}
+			return encodeRecord(rec)
+		},
+		Finalize: func(payloads [][]byte) (any, string, error) {
+			res := &Fig2Result{
+				ClientP95:       make(map[string]time.Duration),
+				ClientP98:       make(map[string]time.Duration),
+				AmplificationOK: true,
+			}
+			lines := make([]string, 0, len(payloads))
+			for i, env := range envs {
+				rec := fig2Record{}
+				if err := decodeRecord(payloads[i], &rec); err != nil {
+					return nil, "", err
+				}
+				res.ClientP95[rec.Env] = rec.ClientP95
+				res.ClientP98[rec.Env] = rec.ClientP98
+
+				curves := map[string][]time.Duration{"client": rec.ClientCurve}
+				order := []string{"client"}
+				for _, t := range rec.Tiers {
+					curves[t.Name] = t.Curve
+					order = append(order, t.Name)
+				}
+				if err := writeCurves(opts.path(fmt.Sprintf("fig2_%s.csv", env)), core.FigurePercentiles, order, curves); err != nil {
+					return nil, "", err
+				}
+
+				tol := 5 * time.Millisecond
+				apache, tomcat, mysql := rec.Tiers[0].P95, rec.Tiers[1].P95, rec.Tiers[2].P95
+				if mysql > tomcat+tol || tomcat > apache+tol || apache > rec.ClientP95+tol {
+					res.AmplificationOK = false
+				}
+				lines = append(lines, fmt.Sprintf("%s client p95=%v p98=%v", rec.Env, rec.ClientP95, rec.ClientP98))
+			}
+			summary := fmt.Sprintf("fig2: %s, amplification ok=%t", strings.Join(lines, "; "), res.AmplificationOK)
+			return res, summary, nil
+		},
+	}, nil
+}
+
+// Fig2 runs the paper's headline experiment — the 3-minute RUBBoS run
+// under the memory-lock MemCA attack (I = 2 s, L = 500 ms) — in the EC2
+// and private-cloud parameterizations, and writes one percentile-curve CSV
+// per environment. It runs through the same job/finalize pair as the
+// distributed fabric, so its outputs match a sharded run byte for byte.
+func Fig2(opts Options) (*Fig2Result, error) {
+	res, _, err := runDistLocal("fig2", opts)
 	if err != nil {
 		return nil, err
 	}
-	for i, env := range envs {
-		rep := reports[i]
-		res.ClientP95[env.String()] = rep.Client.P95
-		res.ClientP98[env.String()] = rep.Client.P98
-
-		curves := map[string][]time.Duration{"client": rep.ClientCurve}
-		order := []string{"client"}
-		for _, t := range rep.Tiers {
-			curves[t.Name] = t.Curve
-			order = append(order, t.Name)
-		}
-		if err := writeCurves(opts.path(fmt.Sprintf("fig2_%s.csv", env)), core.FigurePercentiles, order, curves); err != nil {
-			return nil, err
-		}
-
-		tol := 5 * time.Millisecond
-		apache, tomcat, mysql := rep.Tiers[0].Summary, rep.Tiers[1].Summary, rep.Tiers[2].Summary
-		if mysql.P95 > tomcat.P95+tol || tomcat.P95 > apache.P95+tol || apache.P95 > rep.Client.P95+tol {
-			res.AmplificationOK = false
-		}
-	}
-	return res, nil
+	return res.(*Fig2Result), nil
 }

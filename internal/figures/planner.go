@@ -1,10 +1,12 @@
 package figures
 
 import (
+	"fmt"
 	"time"
 
 	"memca/internal/plan"
 	"memca/internal/spec"
+	"memca/internal/stats"
 )
 
 // PlannerResult captures the capacity-planner validation sweep: the
@@ -27,46 +29,84 @@ type PlannerResult struct {
 	MinSmallerP99 time.Duration
 }
 
+func init() {
+	registerDist(DistDriver{Name: "planner", New: newPlannerRun})
+}
+
+// newPlannerRun prepares the planner-validation driver. plan.Solve runs
+// once per process here (plan.NewValidation), so every worker sizes the
+// grid identically and the per-index jobs stay sim-only; each job record
+// is one gob-encoded plan.CellResult (no map fields, stable bytes).
+func newPlannerRun(opts Options) (*DistRun, error) {
+	vopts := plan.ValidateOptions{
+		BaseSeed: opts.Seed,
+		Duration: opts.duration(160 * time.Second),
+	}
+	v, err := plan.NewValidation(spec.DefaultSLO(), vopts)
+	if err != nil {
+		return nil, err
+	}
+	slo := spec.DefaultSLO()
+	return &DistRun{
+		Jobs: v.Jobs(),
+		Job: func(_ *stats.Arena, i int) ([]byte, error) {
+			// Planner runs manage their own stats (see plan.Validate); the
+			// worker arena is unused here.
+			r, err := v.Run(i)
+			if err != nil {
+				return nil, err
+			}
+			return encodeRecord(r)
+		},
+		Finalize: func(payloads [][]byte) (any, string, error) {
+			results := make([]plan.CellResult, len(payloads))
+			for i, data := range payloads {
+				if err := decodeRecord(data, &results[i]); err != nil {
+					return nil, "", err
+				}
+			}
+			res := &PlannerResult{
+				Cells:             len(plan.DefaultGrid()),
+				Runs:              len(results),
+				AllSizedOK:        true,
+				AllSmallerViolate: true,
+			}
+			for i, r := range results {
+				if !r.SizedOK {
+					res.AllSizedOK = false
+				}
+				if !r.SmallerViolates {
+					res.AllSmallerViolate = false
+				}
+				if r.SizedP99 > res.MaxSizedP99 {
+					res.MaxSizedP99 = r.SizedP99
+				}
+				if i == 0 || r.SmallerP99 < res.MinSmallerP99 {
+					res.MinSmallerP99 = r.SmallerP99
+				}
+			}
+			if path := opts.path("planner_validation.csv"); path != "" {
+				if err := plan.ValidationCSV(path, results); err != nil {
+					return nil, "", err
+				}
+			}
+			summary := fmt.Sprintf("planner: %d runs, sized ok=%t (max p99 %v vs target %v), smaller violates=%t",
+				res.Runs, res.AllSizedOK, res.MaxSizedP99, slo.TargetRT, res.AllSmallerViolate)
+			return res, summary, nil
+		},
+	}, nil
+}
+
 // FigPlanner validates the capacity planner against the simulator: each
 // grid cell is sized by plan.Solve, then the sizing and its minimality
 // witness are replayed attack-free through the full closed-loop
 // simulation at every seed. It writes planner_validation.csv (one row
-// per cell and seed, byte-identical at any worker count).
+// per cell and seed, byte-identical at any worker count — and, via the
+// dist driver, at any shard count).
 func FigPlanner(opts Options) (*PlannerResult, error) {
-	vopts := plan.ValidateOptions{
-		BaseSeed: opts.Seed,
-		Duration: opts.duration(160 * time.Second),
-		Workers:  opts.Parallel,
-		Progress: opts.Progress,
-	}
-	results, err := plan.Validate(spec.DefaultSLO(), vopts)
+	res, _, err := runDistLocal("planner", opts)
 	if err != nil {
 		return nil, err
 	}
-	res := &PlannerResult{
-		Cells:             len(plan.DefaultGrid()),
-		Runs:              len(results),
-		AllSizedOK:        true,
-		AllSmallerViolate: true,
-	}
-	for i, r := range results {
-		if !r.SizedOK {
-			res.AllSizedOK = false
-		}
-		if !r.SmallerViolates {
-			res.AllSmallerViolate = false
-		}
-		if r.SizedP99 > res.MaxSizedP99 {
-			res.MaxSizedP99 = r.SizedP99
-		}
-		if i == 0 || r.SmallerP99 < res.MinSmallerP99 {
-			res.MinSmallerP99 = r.SmallerP99
-		}
-	}
-	if path := opts.path("planner_validation.csv"); path != "" {
-		if err := plan.ValidationCSV(path, results); err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
+	return res.(*PlannerResult), nil
 }

@@ -66,6 +66,12 @@ func DefaultConfig() *Config {
 			"memca/internal/control",
 			"memca/internal/core",
 			"memca/internal/defense",
+			// The deterministic half of the distributed sweep fabric:
+			// shard math, record framing, manifest hashing, recovery, and
+			// merging never read the clock or any RNG (file I/O and fsync
+			// are fine — durability is not nondeterminism). Orchestration
+			// lives in dsweep/coord, which is clock-allowed below.
+			"memca/internal/dsweep",
 			"memca/internal/figures",
 			"memca/internal/memmodel",
 			"memca/internal/plan",
@@ -87,6 +93,11 @@ func DefaultConfig() *Config {
 			// wall-clock side of the boundary (SimPath entries are exact,
 			// so the parent package stays under the contract).
 			"memca/internal/telemetry/live",
+			// The worker-process coordinator polls checkpoint files and
+			// retries dead shards on real time; everything that determines
+			// results stays in the sim-path internal/dsweep (SimPath
+			// entries are exact, so the parent stays under the contract).
+			"memca/internal/dsweep/coord",
 			"memca/cmd/...",
 			"memca/examples/...",
 		},

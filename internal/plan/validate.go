@@ -113,27 +113,38 @@ type CellResult struct {
 	SmallerViolates bool          `json:"smaller_violates"`
 }
 
-// Validate sizes every grid cell with Solve, replays both the chosen
-// sizing and its minimality witness through the full closed-loop
-// simulator (attack-free) at every seed, and reports whether the
-// simulator agrees with the planner's feasibility boundary. Runs fan out
-// over the sweep engine; results are returned in grid order and are
-// identical for every worker count.
-func Validate(slo spec.SLO, opts ValidateOptions) ([]CellResult, error) {
+// sized is one cell's planner verdict, computed once and shared across
+// that cell's seeds.
+type sized struct {
+	res Result
+	req Request
+}
+
+// Validation is a prepared validation sweep: every grid cell already
+// sized by Solve, ready to replay (cell, seed) jobs one index at a time.
+// Solve is deterministic and pure, so preparing a Validation in several
+// worker processes yields identical plans — which is what lets the
+// distributed fabric run validation jobs anywhere and still merge
+// byte-identical results. Job index i maps to cell i/len(seeds) and seed
+// i%len(seeds).
+type Validation struct {
+	slo   spec.SLO
+	opts  ValidateOptions
+	cells []Cell
+	seeds []int64
+	plans []sized
+}
+
+// NewValidation checks the SLO and sizes every grid cell once up front —
+// sharing each verdict across the cell's seeds keeps the per-index jobs
+// sim-only.
+func NewValidation(slo spec.SLO, opts ValidateOptions) (*Validation, error) {
 	if err := slo.Validate(); err != nil {
 		return nil, err
 	}
-	cells := opts.cells()
-	seeds := opts.seeds()
-
-	// Size each cell once up front — Solve is deterministic and pure, so
-	// sharing the verdict across seeds keeps the sweep jobs sim-only.
-	type sized struct {
-		res Result
-		req Request
-	}
-	plans := make([]sized, len(cells))
-	for i, cell := range cells {
+	v := &Validation{slo: slo, opts: opts, cells: opts.cells(), seeds: opts.seeds()}
+	v.plans = make([]sized, len(v.cells))
+	for i, cell := range v.cells {
 		req := Request{
 			System:  spec.RUBBoSSystem(),
 			Traffic: spec.Traffic{Clients: cell.Clients, ThinkTime: cell.Think},
@@ -146,37 +157,62 @@ func Validate(slo spec.SLO, opts ValidateOptions) ([]CellResult, error) {
 		if res.NextSmaller == nil {
 			return nil, fmt.Errorf("plan: cell %d (%d clients) sized to a single bottleneck replica; validation needs a minimality witness", i, cell.Clients)
 		}
-		plans[i] = sized{res: res, req: req}
+		v.plans[i] = sized{res: res, req: req}
 	}
+	return v, nil
+}
 
-	n := len(cells) * len(seeds)
+// Jobs is the total (cell, seed) job count.
+func (v *Validation) Jobs() int { return len(v.cells) * len(v.seeds) }
+
+// Run replays job index i — one (cell, seed) pair, both the chosen sizing
+// and its minimality witness — through the closed-loop simulator. It is a
+// pure function of the index, safe to call from any worker in any order.
+func (v *Validation) Run(i int) (CellResult, error) {
+	if i < 0 || i >= v.Jobs() {
+		return CellResult{}, fmt.Errorf("plan: validation job index %d out of range [0,%d)", i, v.Jobs())
+	}
+	ci, si := i/len(v.seeds), i%len(v.seeds)
+	cell, p, seed := v.cells[ci], v.plans[ci], v.seeds[si]
+
+	out := CellResult{
+		Clients:         cell.Clients,
+		Think:           cell.Think,
+		Seed:            seed,
+		Replicas:        p.res.Sizing.Replicas,
+		ThreadScale:     p.res.Sizing.ThreadScale,
+		SmallerReplicas: p.res.NextSmaller.Replicas,
+	}
+	p99, dropRate, err := simulate(p.res.Sizing.System, p.req.Traffic, seed, v.opts.duration(), v.opts.warmup())
+	if err != nil {
+		return CellResult{}, err
+	}
+	out.SizedP99, out.SizedDropRate = p99, dropRate
+	out.SizedOK = p99 <= v.slo.TargetRT && dropRate <= v.slo.MaxDropRate
+
+	p99, dropRate, err = simulate(p.res.NextSmaller.System, p.req.Traffic, seed, v.opts.duration(), v.opts.warmup())
+	if err != nil {
+		return CellResult{}, err
+	}
+	out.SmallerP99, out.SmallerDropRate = p99, dropRate
+	out.SmallerViolates = p99 > v.slo.TargetRT || dropRate > v.slo.MaxDropRate
+	return out, nil
+}
+
+// Validate sizes every grid cell with Solve, replays both the chosen
+// sizing and its minimality witness through the full closed-loop
+// simulator (attack-free) at every seed, and reports whether the
+// simulator agrees with the planner's feasibility boundary. Runs fan out
+// over the sweep engine; results are returned in grid order and are
+// identical for every worker count.
+func Validate(slo spec.SLO, opts ValidateOptions) ([]CellResult, error) {
+	v, err := NewValidation(slo, opts)
+	if err != nil {
+		return nil, err
+	}
 	sweepOpts := sweep.Options{Workers: opts.Workers, Progress: opts.Progress}
-	return sweep.Run(context.Background(), sweepOpts, n, func(_ context.Context, i int) (CellResult, error) {
-		ci, si := i/len(seeds), i%len(seeds)
-		cell, p, seed := cells[ci], plans[ci], seeds[si]
-
-		out := CellResult{
-			Clients:         cell.Clients,
-			Think:           cell.Think,
-			Seed:            seed,
-			Replicas:        p.res.Sizing.Replicas,
-			ThreadScale:     p.res.Sizing.ThreadScale,
-			SmallerReplicas: p.res.NextSmaller.Replicas,
-		}
-		p99, dropRate, err := simulate(p.res.Sizing.System, p.req.Traffic, seed, opts.duration(), opts.warmup())
-		if err != nil {
-			return CellResult{}, err
-		}
-		out.SizedP99, out.SizedDropRate = p99, dropRate
-		out.SizedOK = p99 <= slo.TargetRT && dropRate <= slo.MaxDropRate
-
-		p99, dropRate, err = simulate(p.res.NextSmaller.System, p.req.Traffic, seed, opts.duration(), opts.warmup())
-		if err != nil {
-			return CellResult{}, err
-		}
-		out.SmallerP99, out.SmallerDropRate = p99, dropRate
-		out.SmallerViolates = p99 > slo.TargetRT || dropRate > slo.MaxDropRate
-		return out, nil
+	return sweep.Run(context.Background(), sweepOpts, v.Jobs(), func(_ context.Context, i int) (CellResult, error) {
+		return v.Run(i)
 	})
 }
 

@@ -1,0 +1,111 @@
+package sweep
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record codec for the distributed fabric's shard artifacts and merged
+// result streams. A record carries one job's encoded result, keyed by its
+// global job index:
+//
+//	record := uvarint(index) uvarint(len(payload)) payload crc32
+//
+// where crc32 is the IEEE checksum of everything before it, little-endian.
+// The framing is self-delimiting and self-validating: a reader can tell a
+// cleanly ended stream from one cut mid-record (ErrRecordTruncated — the
+// torn tail of a killed worker) and from one whose bytes rotted
+// (ErrRecordCorrupt), which is exactly what crash-safe checkpoint
+// recovery needs. The layout is frozen: recorded shard artifacts depend
+// on it.
+
+// ErrRecordTruncated reports a stream that ends partway through a record:
+// every byte present is a valid prefix, but the record is incomplete. A
+// recovering worker truncates the tail and re-runs the job.
+var ErrRecordTruncated = errors.New("sweep: truncated record")
+
+// ErrRecordCorrupt reports a record whose framing or checksum is invalid
+// within the bytes present. Recovery treats it like a truncated tail —
+// the record and everything after it are discarded and re-run — but a
+// merge must never accept it silently.
+var ErrRecordCorrupt = errors.New("sweep: corrupt record")
+
+// AppendRecord appends the framed record for (index, payload) to dst and
+// returns the extended slice. index must be non-negative.
+func AppendRecord(dst []byte, index int, payload []byte) []byte {
+	if index < 0 {
+		panic("sweep: negative record index")
+	}
+	start := len(dst)
+	dst = binary.AppendUvarint(dst, uint64(index))
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	sum := crc32.ChecksumIEEE(dst[start:])
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// DecodeRecord parses the first framed record in b, returning the job
+// index, its payload (aliasing b, not copied), and the remaining bytes.
+// It returns ErrRecordTruncated when b is a proper prefix of a record and
+// ErrRecordCorrupt when the framing or checksum is invalid.
+func DecodeRecord(b []byte) (index int, payload, rest []byte, err error) {
+	idx, n := binary.Uvarint(b)
+	if n == 0 {
+		return 0, nil, nil, ErrRecordTruncated
+	}
+	if n < 0 || idx > 1<<31 {
+		return 0, nil, nil, fmt.Errorf("%w: bad index varint", ErrRecordCorrupt)
+	}
+	off := n
+	size, n := binary.Uvarint(b[off:])
+	if n == 0 {
+		return 0, nil, nil, ErrRecordTruncated
+	}
+	if n < 0 || size > 1<<31 {
+		return 0, nil, nil, fmt.Errorf("%w: bad length varint", ErrRecordCorrupt)
+	}
+	off += n
+	end := off + int(size)
+	if end+4 > len(b) {
+		return 0, nil, nil, ErrRecordTruncated
+	}
+	sum := binary.LittleEndian.Uint32(b[end:])
+	if crc32.ChecksumIEEE(b[:end]) != sum {
+		return 0, nil, nil, fmt.Errorf("%w: checksum mismatch for record index %d", ErrRecordCorrupt, idx)
+	}
+	return int(idx), b[off:end], b[end+4:], nil
+}
+
+// EncodeRecords frames payloads[i] as the record for job index i, in
+// index order — the canonical encoding of a fully merged sweep. A
+// distributed run's merged artifact is byte-identical to EncodeRecords
+// over the payloads a single-process Run would have produced.
+func EncodeRecords(payloads [][]byte) []byte {
+	size := 0
+	for _, p := range payloads {
+		size += len(p) + 2*binary.MaxVarintLen64 + 4
+	}
+	out := make([]byte, 0, size)
+	for i, p := range payloads {
+		out = AppendRecord(out, i, p)
+	}
+	return out
+}
+
+// DecodeRecords parses a complete record stream into a map-free slice
+// keyed by position in the stream, returning each record's index and
+// payload (payloads alias b). It fails on any truncated or corrupt tail.
+func DecodeRecords(b []byte) (indices []int, payloads [][]byte, err error) {
+	for len(b) > 0 {
+		idx, payload, rest, err := DecodeRecord(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		indices = append(indices, idx)
+		payloads = append(payloads, payload)
+		b = rest
+	}
+	return indices, payloads, nil
+}
