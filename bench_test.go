@@ -478,3 +478,32 @@ func BenchmarkBandwidthAllocation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFeatureExtract measures the streaming per-window feature
+// booking the tracer performs on every closed trace — the detection
+// features behind the attribution detector. The allocs/op contract is 0:
+// the series is pre-sized for its horizon at construction, so steady-state
+// extraction never touches the heap.
+func BenchmarkFeatureExtract(b *testing.B) {
+	fs, err := telemetry.NewFeatureSeries(50*time.Millisecond, time.Minute, time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	book := func(i int) {
+		end := time.Duration(i%60000) * time.Millisecond
+		fs.Add(end, 1200*time.Millisecond, 90*time.Millisecond, 60*time.Millisecond,
+			1050*time.Millisecond, 2, 1)
+	}
+	// Extend every window once so the measured phase only updates in place.
+	for i := 0; i < 60000; i++ {
+		book(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		book(i)
+	}
+	if len(fs.Windows()) == 0 {
+		b.Fatal("no windows booked")
+	}
+}

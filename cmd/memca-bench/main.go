@@ -276,9 +276,15 @@ func runDetectors(opts figures.Options) error {
 		return err
 	}
 	for _, c := range res.Cells {
-		fmt.Printf("  %-10s @ %-5v alarms=%d\n", c.Detector, c.Granularity, c.Alarms)
+		fmt.Printf("  %-12s %-10s @ %-5v alarms=%d\n", c.Scenario, c.Detector, c.Granularity, c.Alarms)
 	}
-	fmt.Printf("  clean-signal false alarms @ 1s across all detectors: %d\n", res.BaselineFalseAlarms)
+	fmt.Printf("  attribution threshold (ROC-tuned): retrans share > %.4f (min %d traces/window)\n",
+		res.Attribution.ShareThreshold, res.Attribution.MinCount)
+	for _, tn := range res.Tuning {
+		fmt.Printf("  tuned CPU @ %-5v threshold=%.2f ewma(K=%.0f,a=%.1f) cusum(target=%.2f,k=%.2f,h=%.1f)\n",
+			tn.Granularity, tn.CPU.Threshold.Threshold, tn.CPU.EWMA.K, tn.CPU.EWMA.Alpha,
+			tn.CPU.CUSUM.Target, tn.CPU.CUSUM.Slack, tn.CPU.CUSUM.DecisionThreshold)
+	}
 	return nil
 }
 

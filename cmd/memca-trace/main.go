@@ -86,6 +86,8 @@ func traceRun(out string, attacked bool, duration, warmup time.Duration, seed in
 	spec := memca.DefaultTraceSpec()
 	spec.TailKeep = tailKeep
 	spec.EventRing = ring
+	spec.FeatureWindows = []time.Duration{50 * time.Millisecond, time.Second}
+	spec.TailOver = time.Second
 	cfg.Trace = &spec
 
 	x, err := memca.NewExperiment(cfg)
@@ -128,6 +130,20 @@ func traceRun(out string, attacked bool, duration, warmup time.Duration, seed in
 		path := filepath.Join(out, fmt.Sprintf("timeline_%s_%dms.csv", name, tl.Res.Milliseconds()))
 		if err := telemetry.WriteTimelineCSV(path, tl); err != nil {
 			return err
+		}
+	}
+	// The per-window detection feature series: one CSV per window width,
+	// plus the OTLP gauge export for metrics backends.
+	for _, fs := range tr.Features() {
+		path := filepath.Join(out, fmt.Sprintf("features_%s_%dms.csv", name, fs.Res.Milliseconds()))
+		if err := telemetry.WriteFeaturesCSV(path, fs); err != nil {
+			return err
+		}
+		if otlp {
+			path := filepath.Join(out, fmt.Sprintf("features_otlp_%s_%dms.json", name, fs.Res.Milliseconds()))
+			if err := telemetry.WriteFeaturesOTLP(path, telemetry.DefaultOTLPSpec(), fs); err != nil {
+				return err
+			}
 		}
 	}
 

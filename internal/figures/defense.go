@@ -8,6 +8,9 @@ import (
 	"memca/internal/core"
 	"memca/internal/defense"
 	"memca/internal/memmodel"
+	"memca/internal/monitor"
+	"memca/internal/sweep"
+	"memca/internal/telemetry"
 	"memca/internal/trace"
 )
 
@@ -40,6 +43,19 @@ type DefenseResult struct {
 	// CoarseDetectorEpisodes is what the same detector finds at 1 s
 	// granularity: nothing, which is the paper's stealthiness argument.
 	CoarseDetectorEpisodes int
+	// Attribution is the feature detector tuned on a seed-derived clean
+	// replication and used as the defense trigger.
+	Attribution monitor.AttributionDetector
+	// AttributionAlarms counts its alarms on the undefended lock attack.
+	AttributionAlarms int
+	// AttributionTriggered reports whether the trigger fired at all —
+	// the condition under which the triggered defense row applies its
+	// reservation instead of the undefended outcome.
+	AttributionTriggered bool
+	// TriggeredP95 is the client p95 of the attribution-triggered
+	// reservation row: the reservation cell's measured p95 when the
+	// trigger fired, the undefended one when it did not.
+	TriggeredP95 time.Duration
 }
 
 // DefenseEvaluation runs the attack under no defense, bandwidth
@@ -66,22 +82,51 @@ func DefenseEvaluation(opts Options) (*DefenseResult, error) {
 
 	// Plain runJobs (no arena): each cell keeps its live experiment so the
 	// detection pass below can replay the undefended lock attack's exact
-	// CPU signal after the sweep returns.
+	// CPU signal after the sweep returns. The extra job past the matrix
+	// cells is a seed-derived attack-free replication whose feature stream
+	// calibrates the attribution trigger.
+	featureSpec := func() *telemetry.Spec {
+		spec := telemetry.DefaultSpec()
+		spec.EventRing = 0
+		spec.TailKeep = 0
+		spec.HeadEvery = 0
+		spec.HeadKeep = 0
+		spec.Resolutions = nil
+		spec.FeatureWindows = []time.Duration{monitor.GranularityFine}
+		spec.TailOver = time.Second
+		return &spec
+	}
 	type cellRun struct {
 		point DefensePoint
 		x     *core.Experiment
 	}
-	runs, err := runJobs(opts, len(cells), func(i int) (*cellRun, error) {
-		c := cells[i]
+	runs, err := runJobs(opts, len(cells)+1, func(i int) (*cellRun, error) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = opts.Seed
 		cfg.Duration = opts.duration(90 * time.Second)
+		if i == len(cells) {
+			cfg.Seed = sweep.DeriveSeed(opts.Seed, 200)
+			cfg.Attack = nil
+			cfg.Trace = featureSpec()
+			x, err := core.NewExperiment(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("figures: defense clean tuning run: %w", err)
+			}
+			if _, err := x.Run(); err != nil {
+				return nil, fmt.Errorf("figures: defense clean tuning run: %w", err)
+			}
+			return &cellRun{x: x}, nil
+		}
+		c := cells[i]
 		cfg.Attack.Kind = c.kind
 		// Give bus saturation its best shot: multiple adversaries.
 		if c.kind == memmodel.AttackBusSaturation {
 			cfg.Attack.AdversaryVMs = 4
 		}
 		cfg.Defense = c.spec
+		if c.kind == memmodel.AttackMemoryLock && c.spec == nil {
+			cfg.Trace = featureSpec()
+		}
 		x, err := core.NewExperiment(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("figures: defense %s/%s: %w", c.attackName, c.defName, err)
@@ -105,12 +150,20 @@ func DefenseEvaluation(opts Options) (*DefenseResult, error) {
 		return nil, err
 	}
 	var undefendedLock *core.Experiment
+	var lockP95, reservationP95 time.Duration
 	for i, c := range cells {
 		res.Matrix = append(res.Matrix, runs[i].point)
-		if c.kind == memmodel.AttackMemoryLock && c.spec == nil {
-			undefendedLock = runs[i].x
+		if c.kind == memmodel.AttackMemoryLock {
+			switch {
+			case c.spec == nil:
+				undefendedLock = runs[i].x
+				lockP95 = runs[i].point.ClientP95
+			case c.spec == reservation:
+				reservationP95 = runs[i].point.ClientP95
+			}
 		}
 	}
+	cleanTuning := runs[len(cells)].x
 
 	// Detection side: run the fine- and coarse-grained detectors over
 	// the undefended lock attack's exact CPU signal.
@@ -147,6 +200,37 @@ func DefenseEvaluation(opts Options) (*DefenseResult, error) {
 		return nil, err
 	}
 	res.CoarseDetectorEpisodes = len(coarseEpisodes)
+
+	// Attribution trigger: tune the feature detector on the seed-derived
+	// clean replication against the undefended lock attack, then use it as
+	// the activation condition for bandwidth reservation. The triggered
+	// row's p95 is not a new simulation — the trigger decides which of the
+	// two measured outcomes applies: the reservation cell's when the
+	// detector fires, the undefended cell's when it stays silent.
+	lockFeatures := undefendedLock.Tracer().FeaturesAt(monitor.GranularityFine)
+	cleanFeatures := cleanTuning.Tracer().FeaturesAt(monitor.GranularityFine)
+	attribution, _, err := monitor.TuneAttribution(
+		[]*telemetry.FeatureSeries{lockFeatures},
+		[]*telemetry.FeatureSeries{cleanFeatures},
+		detectorMinCount,
+	)
+	if err != nil {
+		return nil, fmt.Errorf("figures: tuning defense trigger: %w", err)
+	}
+	res.Attribution = attribution
+	res.AttributionAlarms = len(attribution.DetectFeatures(lockFeatures))
+	res.AttributionTriggered = res.AttributionAlarms > 0
+	res.TriggeredP95 = lockP95
+	if res.AttributionTriggered {
+		res.TriggeredP95 = reservationP95
+	}
+	res.Matrix = append(res.Matrix, DefensePoint{
+		Attack:       "memory-lock",
+		Defense:      "attribution-triggered-reservation",
+		ClientP95:    res.TriggeredP95,
+		DegradationD: res.Matrix[0].DegradationD,
+		Mitigated:    res.TriggeredP95 < time.Second,
+	})
 
 	if path := opts.path("defense_matrix.csv"); path != "" {
 		rows := make([][]string, 0, len(res.Matrix))

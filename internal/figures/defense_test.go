@@ -74,5 +74,20 @@ func TestDefenseEvaluation(t *testing.T) {
 	if res.DetectorOverhead <= 0 {
 		t.Error("overhead accounting missing")
 	}
+
+	// Attribution trigger: the tuned feature detector fires on the
+	// undefended lock attack, so the triggered-reservation row applies
+	// the reservation cell's measured outcome.
+	if !res.AttributionTriggered || res.AttributionAlarms == 0 {
+		t.Errorf("attribution trigger stayed silent on the lock attack (%d alarms)", res.AttributionAlarms)
+	}
+	triggered := cell("memory-lock", "attribution-triggered-reservation")
+	if triggered.ClientP95 != cell("memory-lock", "bandwidth-reservation").ClientP95 {
+		t.Errorf("triggered row p95 %v, want the reservation cell's %v",
+			triggered.ClientP95, cell("memory-lock", "bandwidth-reservation").ClientP95)
+	}
+	if triggered.ClientP95 != res.TriggeredP95 {
+		t.Errorf("triggered row p95 %v disagrees with TriggeredP95 %v", triggered.ClientP95, res.TriggeredP95)
+	}
 	requireFiles(t, opts.OutDir, "defense_matrix.csv")
 }

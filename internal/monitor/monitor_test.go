@@ -311,6 +311,50 @@ func TestPeriodicityValidation(t *testing.T) {
 	}
 }
 
+// TestPeriodicityLagEdgeCases pins the lag bounds and the exact
+// autocorrelation values on an alternating 0/1 signal of 6 buckets
+// (mean 0.5, every deviation ±0.5, denominator 6·0.25 = 1.5).
+func TestPeriodicityLagEdgeCases(t *testing.T) {
+	alternating := []stats.Bucket{
+		{Mean: 0}, {Mean: 1}, {Mean: 0}, {Mean: 1}, {Mean: 0}, {Mean: 1},
+	}
+	cases := []struct {
+		name    string
+		lag     int
+		want    float64
+		wantErr bool
+	}{
+		{"lag zero", 0, 0, true},
+		{"lag negative", -3, 0, true},
+		// lag 1: 5 adjacent pairs, each -0.25 → -1.25/1.5.
+		{"lag one antiphase", 1, -5.0 / 6.0, false},
+		// lag 2: 4 in-phase pairs, each +0.25 → 1/1.5.
+		{"lag two in phase", 2, 2.0 / 3.0, false},
+		// lag n-2 is the largest legal lag: 2 pairs → 0.5/1.5.
+		{"lag len minus two", 4, 1.0 / 3.0, false},
+		{"lag len minus one", 5, 0, true},
+		{"lag equals len", 6, 0, true},
+		{"lag beyond len", 10, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Periodicity(alternating, tc.lag)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("lag %d accepted, got %v", tc.lag, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("lag %d: %v", tc.lag, err)
+			}
+			if diff := got - tc.want; diff > 1e-12 || diff < -1e-12 {
+				t.Errorf("lag %d score = %v, want %v", tc.lag, got, tc.want)
+			}
+		})
+	}
+}
+
 func TestPeriodicSampler(t *testing.T) {
 	e := sim.NewEngine(1)
 	val := 0.0

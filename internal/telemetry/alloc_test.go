@@ -22,6 +22,10 @@ func TestTracedSubmitZeroAllocs(t *testing.T) {
 		HeadEvery:   8,
 		HeadKeep:    64,
 		Resolutions: []time.Duration{50 * time.Millisecond, time.Second},
+		// Feature extraction rides the same close path and must keep the
+		// zero-alloc contract.
+		FeatureWindows: []time.Duration{50 * time.Millisecond, time.Second},
+		TailOver:       time.Second,
 	}
 	tr, err := New(e, Config{Spec: spec, Tiers: 1, Seed: 1, Horizon: time.Hour})
 	if err != nil {

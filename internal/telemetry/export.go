@@ -75,6 +75,34 @@ func WriteTimelineCSV(path string, tl *Timeline) error {
 	return trace.WriteCSV(path, header, rows)
 }
 
+// WriteFeaturesCSV exports one feature series with one row per window:
+// the raw counts plus the derived detection features (retransmission-wait
+// share, drop rate, queue-vs-service split, tail-over count).
+func WriteFeaturesCSV(path string, fs *FeatureSeries) error {
+	header := []string{
+		"window_start_s", "count", "attempts", "drops", "tail_over",
+		"retrans_share", "drop_rate", "queue_share", "service_share", "mean_rt_ms",
+	}
+	wins := fs.Windows()
+	rows := make([][]string, 0, len(wins))
+	fmtShare := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+	for i, w := range wins {
+		rows = append(rows, []string{
+			fmtSecs(fs.WindowStart(i)),
+			strconv.Itoa(w.Count),
+			strconv.Itoa(w.Attempts),
+			strconv.Itoa(w.Drops),
+			strconv.Itoa(w.TailOver),
+			fmtShare(w.RetransShare()),
+			fmtShare(w.DropRate()),
+			fmtShare(w.QueueShare()),
+			fmtShare(w.ServiceShare()),
+			fmtMs(w.MeanRT()),
+		})
+	}
+	return trace.WriteCSV(path, header, rows)
+}
+
 // WriteBreakdownCSV exports labeled breakdowns with one row per component
 // per label: (run, component, time_ms, share).
 func WriteBreakdownCSV(path string, tierNames []string, labels []string, breakdowns []Breakdown) error {

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestFeatureSeriesValidation(t *testing.T) {
+	if _, err := NewFeatureSeries(0, time.Second, 0); err == nil {
+		t.Error("zero resolution accepted")
+	}
+	if _, err := NewFeatureSeries(50*time.Millisecond, 0, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := NewFeatureSeries(50*time.Millisecond, time.Second, -1); err == nil {
+		t.Error("negative tail threshold accepted")
+	}
+}
+
+func TestFeatureSeriesBooking(t *testing.T) {
+	fs, err := NewFeatureSeries(100*time.Millisecond, time.Second, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two traces in window 0, one tail-heavy trace in window 3.
+	fs.Add(10*time.Millisecond, 20*time.Millisecond, 5*time.Millisecond, 15*time.Millisecond, 0, 1, 0)
+	fs.Add(90*time.Millisecond, 40*time.Millisecond, 10*time.Millisecond, 30*time.Millisecond, 0, 1, 0)
+	fs.Add(350*time.Millisecond, 400*time.Millisecond, 20*time.Millisecond, 30*time.Millisecond, 340*time.Millisecond, 3, 2)
+
+	wins := fs.Windows()
+	if len(wins) != 4 {
+		t.Fatalf("got %d windows, want 4 (extension up to the booked index)", len(wins))
+	}
+	w0 := wins[0]
+	if w0.Count != 2 || w0.Attempts != 2 || w0.Drops != 0 || w0.TailOver != 0 {
+		t.Errorf("window 0 = %+v", w0)
+	}
+	if w0.MeanRT() != 30*time.Millisecond {
+		t.Errorf("window 0 mean RT = %v, want 30ms", w0.MeanRT())
+	}
+	if wins[1].Count != 0 || wins[2].Count != 0 {
+		t.Error("skipped windows not empty")
+	}
+	w3 := wins[3]
+	if w3.Count != 1 || w3.Attempts != 3 || w3.Drops != 2 || w3.TailOver != 1 {
+		t.Errorf("window 3 = %+v", w3)
+	}
+	if got := w3.RetransShare(); math.Abs(got-0.85) > 1e-9 {
+		t.Errorf("retrans share = %v, want 0.85", got)
+	}
+	if got := w3.QueueShare(); math.Abs(got-0.05) > 1e-9 {
+		t.Errorf("queue share = %v, want 0.05", got)
+	}
+	if got := w3.ServiceShare(); math.Abs(got-0.075) > 1e-9 {
+		t.Errorf("service share = %v, want 0.075", got)
+	}
+	if got := w3.DropRate(); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Errorf("drop rate = %v, want 2/3", got)
+	}
+	if fs.WindowStart(3) != 300*time.Millisecond {
+		t.Errorf("window 3 start = %v, want 300ms", fs.WindowStart(3))
+	}
+
+	// Out-of-range closes are dropped, not booked or panicking.
+	fs.Add(-time.Millisecond, time.Millisecond, 0, 0, 0, 1, 0)
+	fs.Add(2*time.Second, time.Millisecond, 0, 0, 0, 1, 0)
+	if len(fs.Windows()) != 4 {
+		t.Error("out-of-range close extended the series")
+	}
+}
+
+func TestFeatureSeriesRebase(t *testing.T) {
+	fs, err := NewFeatureSeries(100*time.Millisecond, time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Add(50*time.Millisecond, time.Millisecond, 0, time.Millisecond, 0, 1, 0)
+	fs.reset(10 * time.Second)
+	if len(fs.Windows()) != 0 {
+		t.Error("reset kept windows")
+	}
+	if fs.Base() != 10*time.Second {
+		t.Errorf("base = %v, want 10s", fs.Base())
+	}
+	// Pre-rebase stragglers fall before the new base and are dropped.
+	fs.Add(9*time.Second, time.Millisecond, 0, time.Millisecond, 0, 1, 0)
+	if len(fs.Windows()) != 0 {
+		t.Error("pre-base close was booked")
+	}
+	fs.Add(10*time.Second+150*time.Millisecond, time.Millisecond, 0, time.Millisecond, 0, 1, 0)
+	if len(fs.Windows()) != 2 || fs.Windows()[1].Count != 1 {
+		t.Errorf("post-rebase booking landed wrong: %d windows", len(fs.Windows()))
+	}
+	if fs.WindowStart(1) != 10*time.Second+100*time.Millisecond {
+		t.Errorf("rebased window 1 start = %v", fs.WindowStart(1))
+	}
+}
+
+func TestWindowFeaturesZeroDenominators(t *testing.T) {
+	var w WindowFeatures
+	if w.MeanRT() != 0 || w.RetransShare() != 0 || w.QueueShare() != 0 ||
+		w.ServiceShare() != 0 || w.DropRate() != 0 {
+		t.Error("empty window features not all zero")
+	}
+}
+
+// TestTracerFeatureAccessors checks the Spec wiring: one series per
+// configured window, retrievable by resolution.
+func TestTracerFeatureAccessors(t *testing.T) {
+	tr := goldenScenario(t)
+	if got := len(tr.Features()); got != 1 {
+		t.Fatalf("got %d feature series, want 1", got)
+	}
+	if tr.FeaturesAt(50*time.Millisecond) == nil {
+		t.Error("FeaturesAt(50ms) = nil")
+	}
+	if tr.FeaturesAt(time.Second) != nil {
+		t.Error("FeaturesAt(1s) found an unconfigured series")
+	}
+}

@@ -60,6 +60,11 @@ func goldenScenario(t *testing.T) *Tracer {
 		HeadEvery:   2,
 		HeadKeep:    16,
 		Resolutions: []time.Duration{50 * time.Millisecond},
+		// One feature window per timeline resolution; the 50ms tail
+		// threshold puts the retransmitted trace (rt 50ms: 40ms wait +
+		// 10ms service), but not the directly served ones, in tail_over.
+		FeatureWindows: []time.Duration{50 * time.Millisecond},
+		TailOver:       50 * time.Millisecond,
 	}
 	tr, err := New(e, Config{
 		Spec:      spec,
@@ -151,6 +156,20 @@ func TestGoldenOTLP(t *testing.T) {
 	tr := goldenScenario(t)
 	checkGolden(t, "otlp.json", func(path string) error {
 		return tr.WriteOTLP(path, DefaultOTLPSpec())
+	})
+}
+
+func TestGoldenFeaturesCSV(t *testing.T) {
+	tr := goldenScenario(t)
+	checkGolden(t, "features_50ms.csv", func(path string) error {
+		return WriteFeaturesCSV(path, tr.FeaturesAt(50*time.Millisecond))
+	})
+}
+
+func TestGoldenFeaturesOTLP(t *testing.T) {
+	tr := goldenScenario(t)
+	checkGolden(t, "features_otlp.json", func(path string) error {
+		return WriteFeaturesOTLP(path, DefaultOTLPSpec(), tr.FeaturesAt(50*time.Millisecond))
 	})
 }
 

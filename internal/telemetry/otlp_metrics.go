@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// The metrics exporter emits the feature series in the standard OTLP/JSON
+// metrics encoding (the protobuf JSON mapping of
+// opentelemetry.proto.metrics.v1), again without any OpenTelemetry
+// dependency: each detection feature becomes one gauge metric with one
+// data point per window, so the same series a detector consumes in
+// process can be shipped to any OTLP-speaking metrics backend. Field
+// order is fixed by the struct layouts, keeping same-seed exports
+// byte-identical.
+
+type otlpNumberPoint struct {
+	StartTimeUnixNano string   `json:"startTimeUnixNano"`
+	TimeUnixNano      string   `json:"timeUnixNano"`
+	AsDouble          *float64 `json:"asDouble,omitempty"`
+	AsInt             *string  `json:"asInt,omitempty"`
+}
+
+type otlpGauge struct {
+	DataPoints []otlpNumberPoint `json:"dataPoints"`
+}
+
+type otlpMetric struct {
+	Name        string    `json:"name"`
+	Description string    `json:"description,omitempty"`
+	Unit        string    `json:"unit,omitempty"`
+	Gauge       otlpGauge `json:"gauge"`
+}
+
+// WriteFeaturesOTLP exports one feature series as OTLP/JSON gauge metrics
+// under the resource "<prefix>-features". Each window contributes one data
+// point per feature, stamped at the window's right edge with the window's
+// left edge as the start time.
+func WriteFeaturesOTLP(path string, spec OTLPSpec, fs *FeatureSeries) (err error) {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if fs == nil {
+		return fmt.Errorf("telemetry: feature series must not be nil")
+	}
+	nanos := func(i int, edge int64) string {
+		t := fs.WindowStart(i).Nanoseconds() + edge*fs.Res.Nanoseconds()
+		return strconv.FormatInt(spec.EpochNanos+t, 10)
+	}
+	wins := fs.Windows()
+	doubleMetric := func(name, desc string, value func(WindowFeatures) float64) otlpMetric {
+		points := make([]otlpNumberPoint, 0, len(wins))
+		for i, w := range wins {
+			v := value(w)
+			points = append(points, otlpNumberPoint{
+				StartTimeUnixNano: nanos(i, 0),
+				TimeUnixNano:      nanos(i, 1),
+				AsDouble:          &v,
+			})
+		}
+		return otlpMetric{Name: name, Description: desc, Unit: "1", Gauge: otlpGauge{DataPoints: points}}
+	}
+	intMetric := func(name, desc, unit string, value func(WindowFeatures) int64) otlpMetric {
+		points := make([]otlpNumberPoint, 0, len(wins))
+		for i, w := range wins {
+			v := strconv.FormatInt(value(w), 10)
+			points = append(points, otlpNumberPoint{
+				StartTimeUnixNano: nanos(i, 0),
+				TimeUnixNano:      nanos(i, 1),
+				AsInt:             &v,
+			})
+		}
+		return otlpMetric{Name: name, Description: desc, Unit: unit, Gauge: otlpGauge{DataPoints: points}}
+	}
+
+	metrics := []otlpMetric{
+		intMetric("memca.features.count", "traces closed in the window", "1",
+			func(w WindowFeatures) int64 { return int64(w.Count) }),
+		intMetric("memca.features.tail_over", "closed traces at or above the tail threshold", "1",
+			func(w WindowFeatures) int64 { return int64(w.TailOver) }),
+		doubleMetric("memca.features.retrans_share", "retransmission-wait share of summed response time",
+			func(w WindowFeatures) float64 { return w.RetransShare() }),
+		doubleMetric("memca.features.drop_rate", "rejected fraction of submitted attempts",
+			func(w WindowFeatures) float64 { return w.DropRate() }),
+		doubleMetric("memca.features.queue_share", "queueing share of summed response time",
+			func(w WindowFeatures) float64 { return w.QueueShare() }),
+		doubleMetric("memca.features.service_share", "service share of summed response time",
+			func(w WindowFeatures) float64 { return w.ServiceShare() }),
+	}
+
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("telemetry: creating directory for %s: %w", path, err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: creating %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("telemetry: closing %s: %w", path, cerr)
+		}
+	}()
+	write := func(s string) error {
+		if _, werr := f.WriteString(s); werr != nil {
+			return fmt.Errorf("telemetry: writing %s: %w", path, werr)
+		}
+		return nil
+	}
+
+	res := struct {
+		Attributes []otlpKeyValue `json:"attributes"`
+	}{Attributes: []otlpKeyValue{
+		strAttr("service.name", spec.ServicePrefix+"-features"),
+		intAttr("memca.feature_window_ms", fs.Res.Milliseconds()),
+	}}
+	resData, merr := json.Marshal(res)
+	if merr != nil {
+		return fmt.Errorf("telemetry: marshaling features resource: %w", merr)
+	}
+	if err := write("{\"resourceMetrics\":[\n{\"resource\":" + string(resData) +
+		",\"scopeMetrics\":[{\"scope\":{\"name\":\"memca/telemetry\"},\"metrics\":[\n"); err != nil {
+		return err
+	}
+	for i := range metrics {
+		data, merr := json.Marshal(&metrics[i])
+		if merr != nil {
+			return fmt.Errorf("telemetry: marshaling metric %s: %w", metrics[i].Name, merr)
+		}
+		sep := ",\n"
+		if i == len(metrics)-1 {
+			sep = "\n"
+		}
+		if err := write(string(data) + sep); err != nil {
+			return err
+		}
+	}
+	return write("]}]}\n]}\n")
+}

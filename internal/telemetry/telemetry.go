@@ -48,6 +48,16 @@ type Spec struct {
 	// Resolutions lists the timeline aggregation windows, e.g. 50ms and
 	// 1s to contrast fine-grained and coarse monitoring views.
 	Resolutions []time.Duration
+	// FeatureWindows lists the streaming feature-extraction windows: for
+	// each width the tracer maintains a FeatureSeries of per-window
+	// detection features (retransmission-wait share, drop rate, queue-vs-
+	// service split, tail-over count) booked incrementally as traces
+	// close. Empty disables feature extraction.
+	FeatureWindows []time.Duration
+	// TailOver is the response-time threshold for the per-window TailOver
+	// count (the paper's 1 s damage line is the canonical choice); zero
+	// disables the count. Only meaningful with FeatureWindows set.
+	TailOver time.Duration
 }
 
 // DefaultSpec returns tracer settings sized for the paper's experiments:
@@ -87,6 +97,14 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("telemetry: resolution %d must be positive, got %v", i, r)
 		}
 	}
+	for i, w := range s.FeatureWindows {
+		if w <= 0 {
+			return fmt.Errorf("telemetry: feature window %d must be positive, got %v", i, w)
+		}
+	}
+	if s.TailOver < 0 {
+		return fmt.Errorf("telemetry: TailOver must be >= 0, got %v", s.TailOver)
+	}
 	return nil
 }
 
@@ -125,6 +143,9 @@ func (c Config) Validate() error {
 	}
 	if len(c.Resolutions) > 0 && c.Horizon <= 0 {
 		return fmt.Errorf("telemetry: Horizon must be positive when timelines are enabled, got %v", c.Horizon)
+	}
+	if len(c.FeatureWindows) > 0 && c.Horizon <= 0 {
+		return fmt.Errorf("telemetry: Horizon must be positive when feature windows are enabled, got %v", c.Horizon)
 	}
 	return nil
 }
@@ -233,6 +254,7 @@ type Tracer struct {
 	backing   []time.Duration
 
 	timelines []*Timeline
+	features  []*FeatureSeries
 
 	agg       Aggregate
 	closed    uint64
@@ -280,6 +302,10 @@ func New(engine *sim.Engine, cfg Config) (*Tracer, error) {
 	t.timelines = make([]*Timeline, len(cfg.Resolutions))
 	for i, res := range cfg.Resolutions {
 		t.timelines[i] = newTimeline(res, cfg.Horizon)
+	}
+	t.features = make([]*FeatureSeries, len(cfg.FeatureWindows))
+	for i, res := range cfg.FeatureWindows {
+		t.features[i] = newFeatureSeries(res, cfg.Horizon, cfg.TailOver)
 	}
 	t.agg = newAggregate(cfg.Tiers)
 	return t, nil
@@ -464,6 +490,9 @@ func (t *Tracer) closeSlot(si int32, end time.Duration, abandoned bool) {
 	for _, tl := range t.timelines {
 		tl.add(end, rt, totalQueue, s.drops)
 	}
+	for _, fs := range t.features {
+		fs.Add(end, rt, totalQueue, totalService, s.retransWait, s.attempts, s.drops)
+	}
 
 	t.sampleTail(si, rt, end, abandoned)
 	idx := t.closed
@@ -602,6 +631,9 @@ func (t *Tracer) Reset(base time.Duration) {
 	for _, tl := range t.timelines {
 		tl.reset(base)
 	}
+	for _, fs := range t.features {
+		fs.reset(base)
+	}
 }
 
 // Closed returns the number of traces closed (completed or abandoned)
@@ -627,6 +659,20 @@ func (t *Tracer) Timeline(res time.Duration) *Timeline {
 	for _, tl := range t.timelines {
 		if tl.Res == res {
 			return tl
+		}
+	}
+	return nil
+}
+
+// Features returns the streaming feature series, in FeatureWindows order
+// (shared; do not mutate).
+func (t *Tracer) Features() []*FeatureSeries { return t.features }
+
+// FeaturesAt returns the feature series at the given window width, or nil.
+func (t *Tracer) FeaturesAt(res time.Duration) *FeatureSeries {
+	for _, fs := range t.features {
+		if fs.Res == res {
+			return fs
 		}
 	}
 	return nil

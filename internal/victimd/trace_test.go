@@ -284,6 +284,56 @@ func TestCountersEndpoint(t *testing.T) {
 			t.Errorf("counters missing %s", key)
 		}
 	}
+
+	// The windowed feature lines appear once a window completes. On a
+	// fresh tier, an observation backdated by 1.5 windows anchors the
+	// epoch in the past, so the counters read finds window 0 complete.
+	feat, err := StartTier("127.0.0.1:0", TierConfig{Name: "feat", Workers: 2, Service: 0})
+	if err != nil {
+		t.Fatalf("StartTier: %v", err)
+	}
+	defer func() { _ = feat.Close() }()
+	feat.features.Observe(time.Now().Add(-3*featureWindow/2),
+		150*time.Millisecond, 100*time.Millisecond, 50*time.Millisecond, 0, 2, 1)
+	resp, err = http.Get(feat.URL() + "/debug/counters")
+	if err != nil {
+		t.Fatalf("counters: %v", err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	got = map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			t.Fatalf("counters line %q is not \"name value\"", line)
+		}
+		got[f[0]] = f[1]
+	}
+	if got["victimd.feat_count"] != "1" || got["victimd.feat_drops"] != "1" || got["victimd.feat_tail_over"] != "1" {
+		t.Errorf("feature counters = %v", got)
+	}
+	if got["victimd.feat_drop_rate"] != "0.5000" || got["victimd.feat_mean_rt_us"] != "150000" {
+		t.Errorf("feature rates = %v", got)
+	}
+	for _, key := range []string{"victimd.feat_window_ms", "victimd.feat_window_start_ms", "victimd.feat_attempts", "victimd.feat_queue_share", "victimd.feat_service_share"} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("counters missing %s", key)
+		}
+	}
+}
+
+// testTracker builds the feature tracker a StartTier-constructed tier
+// would carry, for tests that assemble a Tier literal directly.
+func testTracker(t testing.TB) *live.WindowTracker {
+	t.Helper()
+	tracker, err := live.NewWindowTracker(featureWindow, featureTailOver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tracker
 }
 
 // TestHandleZeroAllocOverhead pins the overhead contract on the request
@@ -300,7 +350,7 @@ func TestHandleZeroAllocOverhead(t *testing.T) {
 			t.Errorf("%s: handle allocates %v objects/request, want 0", name, allocs)
 		}
 	}
-	plain := &Tier{cfg: TierConfig{Name: "plain", Workers: 2}, okBody: []byte("plain ok\n"), slots: make(chan struct{}, 2)}
+	plain := &Tier{cfg: TierConfig{Name: "plain", Workers: 2}, okBody: []byte("plain ok\n"), slots: make(chan struct{}, 2), features: testTracker(t)}
 	plain.slowdown.Store(1000)
 	run("disabled", plain, httptest.NewRequest(http.MethodGet, "/", nil))
 
@@ -308,7 +358,7 @@ func TestHandleZeroAllocOverhead(t *testing.T) {
 	if err != nil {
 		t.Fatalf("live.New: %v", err)
 	}
-	traced := &Tier{cfg: TierConfig{Name: "traced", Workers: 2, Trace: col}, okBody: []byte("traced ok\n"), slots: make(chan struct{}, 2)}
+	traced := &Tier{cfg: TierConfig{Name: "traced", Workers: 2, Trace: col}, okBody: []byte("traced ok\n"), slots: make(chan struct{}, 2), features: testTracker(t)}
 	traced.slowdown.Store(1000)
 	req := httptest.NewRequest(http.MethodGet, "/", nil)
 	req.Header.Set(live.TraceHeader, live.FormatTraceHeader(col.NextTraceID(), 0))
@@ -320,7 +370,7 @@ func BenchmarkHandleTraced(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	tier := &Tier{cfg: TierConfig{Name: "bench", Workers: 4, Trace: col}, okBody: []byte("bench ok\n"), slots: make(chan struct{}, 4)}
+	tier := &Tier{cfg: TierConfig{Name: "bench", Workers: 4, Trace: col}, okBody: []byte("bench ok\n"), slots: make(chan struct{}, 4), features: testTracker(b)}
 	tier.slowdown.Store(1000)
 	req := httptest.NewRequest(http.MethodGet, "/", nil)
 	req.Header.Set(live.TraceHeader, live.FormatTraceHeader(col.NextTraceID(), 0))

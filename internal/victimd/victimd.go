@@ -96,7 +96,25 @@ type Tier struct {
 	inflight    atomic.Int64
 	queueWaitNs atomic.Int64
 	serviceNs   atomic.Int64
+
+	// features is the always-on windowed feature tracker: the same
+	// per-window detection features the simulator's tracer streams,
+	// aggregated over wall-clock windows from what this tier can observe
+	// (its own queue wait, service time, and sheds — retransmission wait
+	// is only attributable across tiers, by the trace collector).
+	features *live.WindowTracker
 }
+
+// featureWindow is the tier tracker's wall-clock window width. One second
+// matches the user-facing monitoring granularity the paper argues is too
+// coarse for CPU signals — the point of the feature counters is that the
+// attribution features stay discriminative even at this width.
+const featureWindow = time.Second
+
+// featureTailOver is the tier-local response-time threshold counted by
+// the tail_over feature — a per-tier SLO stand-in for the client-side 1 s
+// damage goal.
+const featureTailOver = 100 * time.Millisecond
 
 // StartTier binds a tier to addr (":0" for an ephemeral port) and serves
 // in a background goroutine until Close.
@@ -108,12 +126,18 @@ func StartTier(addr string, cfg TierConfig) (*Tier, error) {
 	if err != nil {
 		return nil, fmt.Errorf("victimd: listen %s: %w", addr, err)
 	}
+	features, err := live.NewWindowTracker(featureWindow, featureTailOver)
+	if err != nil {
+		_ = ln.Close()
+		return nil, err
+	}
 	t := &Tier{
 		cfg:      cfg,
 		listener: ln,
 		client:   &http.Client{Timeout: 10 * time.Second},
 		okBody:   []byte(cfg.Name + " ok\n"),
 		slots:    make(chan struct{}, cfg.Workers),
+		features: features,
 	}
 	t.slowdown.Store(1000)
 	mux := http.NewServeMux()
@@ -172,13 +196,16 @@ func (t *Tier) handle(w http.ResponseWriter, r *http.Request) {
 	enq := time.Now()
 	if !t.acquire(r.Context()) {
 		t.rejected.Add(1)
+		waited := time.Since(enq)
+		t.features.Observe(time.Now(), waited, waited, 0, 0, 1, 1)
 		if traced {
 			t.cfg.Trace.Record(traceID, live.KindDrop, t.cfg.TierIndex, attempt, 0)
 		}
 		http.Error(w, "pool exhausted", http.StatusServiceUnavailable)
 		return
 	}
-	t.queueWaitNs.Add(time.Since(enq).Nanoseconds())
+	wait := time.Since(enq)
+	t.queueWaitNs.Add(wait.Nanoseconds())
 	t.inflight.Add(1)
 	defer func() {
 		t.inflight.Add(-1)
@@ -197,14 +224,17 @@ func (t *Tier) handle(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			// The caller hung up mid-service; close the span so the trace
 			// never reports an orphan service interval.
-			t.serviceNs.Add(time.Since(svcStart).Nanoseconds())
+			svc := time.Since(svcStart)
+			t.serviceNs.Add(svc.Nanoseconds())
+			t.features.Observe(time.Now(), time.Since(enq), wait, svc, 0, 1, 0)
 			if traced {
 				t.cfg.Trace.Record(traceID, live.KindServiceEnd, t.cfg.TierIndex, attempt, 0)
 			}
 			return
 		}
 	}
-	t.serviceNs.Add(time.Since(svcStart).Nanoseconds())
+	svc := time.Since(svcStart)
+	t.serviceNs.Add(svc.Nanoseconds())
 	if traced {
 		t.cfg.Trace.Record(traceID, live.KindServiceEnd, t.cfg.TierIndex, attempt, 0)
 	}
@@ -215,6 +245,7 @@ func (t *Tier) handle(w http.ResponseWriter, r *http.Request) {
 	if t.cfg.Backend != "" {
 		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, t.cfg.Backend, nil)
 		if err != nil {
+			t.features.Observe(time.Now(), time.Since(enq), wait, svc, 0, 1, 1)
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -223,16 +254,21 @@ func (t *Tier) handle(w http.ResponseWriter, r *http.Request) {
 		}
 		resp, err := t.client.Do(req)
 		if err != nil {
+			t.features.Observe(time.Now(), time.Since(enq), wait, svc, 0, 1, 1)
 			http.Error(w, "backend unreachable", http.StatusBadGateway)
 			return
 		}
 		_, _ = io.Copy(io.Discard, resp.Body)
 		status := resp.StatusCode
 		if err := resp.Body.Close(); err != nil {
+			t.features.Observe(time.Now(), time.Since(enq), wait, svc, 0, 1, 1)
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		if status != http.StatusOK {
+			// The downstream tier shed or choked on this request: a drop
+			// from this tier's vantage point, whatever the exact cause.
+			t.features.Observe(time.Now(), time.Since(enq), wait, svc, 0, 1, 1)
 			http.Error(w, "backend congested", http.StatusBadGateway)
 			return
 		}
@@ -241,6 +277,7 @@ func (t *Tier) handle(w http.ResponseWriter, r *http.Request) {
 		t.cfg.Trace.Record(traceID, live.KindTierRespond, t.cfg.TierIndex, attempt, 0)
 	}
 	t.served.Add(1)
+	t.features.Observe(time.Now(), time.Since(enq), wait, svc, 0, 1, 0)
 	w.WriteHeader(http.StatusOK)
 	if _, err := w.Write(t.okBody); err != nil {
 		return
@@ -301,6 +338,26 @@ func (t *Tier) handleCounters(w http.ResponseWriter, _ *http.Request) {
 		t.cfg.Name, t.cfg.Workers, t.served.Load(), t.rejected.Load(),
 		t.inflight.Load(), t.queueWaitNs.Load(), t.serviceNs.Load(),
 		t.slowdown.Load())
+	// The last completed feature window — the per-window attribution view
+	// the aggregate totals above cannot provide. Absent until the first
+	// window closes.
+	if feat, start, ok := t.features.Last(time.Now()); ok {
+		body += fmt.Sprintf(
+			"victimd.feat_window_ms %d\n"+
+				"victimd.feat_window_start_ms %d\n"+
+				"victimd.feat_count %d\n"+
+				"victimd.feat_attempts %d\n"+
+				"victimd.feat_drops %d\n"+
+				"victimd.feat_tail_over %d\n"+
+				"victimd.feat_drop_rate %.4f\n"+
+				"victimd.feat_queue_share %.4f\n"+
+				"victimd.feat_service_share %.4f\n"+
+				"victimd.feat_mean_rt_us %d\n",
+			t.features.Res().Milliseconds(), start.Milliseconds(),
+			feat.Count, feat.Attempts, feat.Drops, feat.TailOver,
+			feat.DropRate(), feat.QueueShare(), feat.ServiceShare(),
+			feat.MeanRT().Microseconds())
+	}
 	if _, err := io.WriteString(w, body); err != nil {
 		// The client disconnected mid-response; nothing left to do.
 		return
